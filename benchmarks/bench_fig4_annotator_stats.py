@@ -1,0 +1,81 @@
+"""Figure 4 — crowd characterization boxplots.
+
+The paper's Fig. 4 shows, for both datasets, boxplots of (a) the number of
+instances each annotator labeled and (b) each annotator's accuracy (resp.
+span F1). This bench prints the five-number summaries for the simulated
+crowds so they can be compared against the paper's plots: heavy-tailed
+volume, accuracy spread roughly 0.2–1.0 with a median near 0.8 for
+sentiment, and F1 roughly 0.15–0.9 for NER.
+"""
+
+from __future__ import annotations
+
+from conftest import fast_mode
+
+from repro.crowd import classification_annotator_report, sequence_annotator_report
+from repro.experiments import (
+    NERBenchConfig,
+    SentimentBenchConfig,
+    bench_scale,
+    build_ner_data,
+    build_sentiment_data,
+)
+
+
+def _configs():
+    if fast_mode():
+        return (
+            SentimentBenchConfig(num_train=250, num_dev=20, num_test=20,
+                                 num_annotators=20, embedding_dim=24),
+            NERBenchConfig(num_train=120, num_dev=10, num_test=10,
+                           num_annotators=10, embedding_dim=24),
+        )
+    scale = bench_scale()
+    return (
+        SentimentBenchConfig(num_train=int(2000 * scale), num_dev=50, num_test=50,
+                             num_annotators=int(100 * scale)),
+        NERBenchConfig(num_train=int(800 * scale), num_dev=20, num_test=20,
+                       num_annotators=int(30 * scale)),
+    )
+
+
+def _run_fig4() -> str:
+    sent_config, ner_config = _configs()
+    sent = build_sentiment_data(0, sent_config)
+    ner = build_ner_data(0, ner_config)
+    sent_report = classification_annotator_report(sent.train.crowd, sent.train.labels)
+    ner_report = sequence_annotator_report(ner.train.crowd, ner.train.tags)
+
+    lines = [
+        "=" * 88,
+        "Figure 4 — annotator statistics (boxplot five-number summaries)",
+        "=" * 88,
+        "Sentiment Polarity (MTurk, simulated):",
+        f"  (a) instances per annotator : {sent_report.count_stats().row()}",
+        f"  (b) annotator accuracy      : {sent_report.quality_stats(min_labels=6).row()}",
+        "  paper: volume heavy-tailed up to ~4k; accuracy ~0.2-1.0, median ~0.8",
+        "-" * 88,
+        "CoNLL-2003 NER (MTurk, simulated):",
+        f"  (a) sentences per annotator : {ner_report.count_stats().row()}",
+        f"  (b) annotator span F1       : {ner_report.quality_stats().row()}",
+        "  paper: F1 range 17.60%-89.11%",
+        "=" * 88,
+    ]
+    return "\n".join(lines), sent_report, ner_report
+
+
+def test_fig4_annotator_stats(benchmark, archive):
+    text, sent_report, ner_report = benchmark.pedantic(_run_fig4, rounds=1, iterations=1)
+    archive("fig4_annotator_stats", text)
+
+    # Shape checks against the paper's characterization.
+    active = sent_report.counts >= 6
+    quality = sent_report.quality[active]
+    assert quality.max() > 0.85          # experts exist
+    assert quality.min() < 0.65          # spammers exist
+    counts = sent_report.counts[sent_report.counts > 0]
+    assert counts.max() / max(counts.min(), 1) > 5  # heavy tail
+    ner_quality = ner_report.quality[ner_report.counts >= 3]
+    assert ner_quality.max() > 0.6
+    # Wide quality band (small pools may not draw the very worst profile).
+    assert ner_quality.min() < ner_quality.max() - 0.2

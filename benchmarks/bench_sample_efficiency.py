@@ -1,0 +1,94 @@
+"""§VI-B sample-efficiency experiment.
+
+The paper: Logic-LNCL reaches (and slightly exceeds) the strongest
+competitor's full-data generalization using fewer training samples —
+4,300/3,300 of 4,999 sentiment samples and 5,700/4,900 of 5,985 NER
+sentences for the student/teacher variants.
+
+This bench sweeps training fractions and reports, per variant, the sample
+count at which it matches the full-data score of the strongest competitor
+(AggNet for sentiment, CL (MW, 5) for NER).
+"""
+
+from __future__ import annotations
+
+from conftest import fast_mode
+
+from repro.experiments import (
+    NERBenchConfig,
+    SentimentBenchConfig,
+    bench_scale,
+    run_ner_sample_efficiency,
+    run_sentiment_sample_efficiency,
+)
+
+FRACTIONS = [0.5, 0.7, 0.85, 1.0]
+
+
+def _configs():
+    if fast_mode():
+        return (
+            SentimentBenchConfig(num_train=250, num_dev=80, num_test=80, num_annotators=20,
+                                 epochs=4, feature_maps=12, embedding_dim=24),
+            NERBenchConfig(num_train=120, num_dev=40, num_test=40, num_annotators=10,
+                           epochs=4, conv_features=32, gru_hidden=16, embedding_dim=24),
+        )
+    scale = bench_scale()
+    # NER sizes match the Table III bench: the CL (MW, 5) reference needs
+    # the full epoch budget to train through its pre-training phase.
+    return (
+        SentimentBenchConfig(num_train=int(900 * scale), num_dev=250, num_test=250, epochs=12),
+        NERBenchConfig(num_train=int(500 * scale), num_dev=150, num_test=150, epochs=12),
+    )
+
+
+def _render(label, result, total, reference_method) -> list[str]:
+    lines = [f"{label} (reference = {reference_method} on full data: "
+             f"{100 * result.full_data_reference[reference_method]:.2f}):"]
+    for method, scores in result.scores.items():
+        curve = "  ".join(
+            f"{int(round(f * total))}->{100 * s:.2f}" for f, s in zip(result.fractions, scores)
+        )
+        match = result.samples_to_match(method, reference_method, total)
+        match_text = f"matches at ~{match} samples" if match else "never matches"
+        lines.append(f"  {method:<22} {curve}   [{match_text}]")
+    return lines
+
+
+def _run_sample_efficiency():
+    sent_config, ner_config = _configs()
+    sent = run_sentiment_sample_efficiency(
+        sent_config, FRACTIONS,
+        methods=["Logic-LNCL-student", "Logic-LNCL-teacher"],
+        reference_method="AggNet",
+    )
+    ner = run_ner_sample_efficiency(
+        ner_config, FRACTIONS,
+        methods=["Logic-LNCL-student", "Logic-LNCL-teacher"],
+        reference_method="CL (MW, 5)",
+    )
+    lines = [
+        "=" * 100,
+        "Sample efficiency (paper §VI-B): score vs number of training samples",
+        "=" * 100,
+    ]
+    lines.extend(_render("Sentiment (accuracy %)", sent, sent_config.num_train, "AggNet"))
+    lines.append("-" * 100)
+    lines.extend(_render("NER (span F1 %)", ner, ner_config.num_train, "CL (MW, 5)"))
+    lines.extend(
+        [
+            "-" * 100,
+            "paper: student/teacher match the best competitor with 4300/3300 of 4999",
+            "       sentiment samples and 5700/4900 of 5985 NER sentences",
+            "=" * 100,
+        ]
+    )
+    return "\n".join(lines), sent, ner
+
+
+def test_sample_efficiency(benchmark, archive):
+    text, sent, ner = benchmark.pedantic(_run_sample_efficiency, rounds=1, iterations=1)
+    archive("sample_efficiency", text)
+    for result in (sent, ner):
+        for scores in result.scores.values():
+            assert all(0.0 <= s <= 1.0 for s in scores)

@@ -1,0 +1,92 @@
+"""Design-choice sensitivity sweeps (DESIGN.md ablation targets).
+
+Not a paper artifact — these probe the two hyper-parameters that *define*
+the method's behaviour and that Table I fixes without justification:
+
+* the regularization strength C of Eq. 14/15 (paper: 5.0 on both tasks);
+* the imitation schedule k(t) of Eq. 9 (paper: an exponential ramp), vs
+  constant mixing at several levels.
+
+Expected shape: performance is flat-topped around C≈5 (too small ≈
+w/o-Rule, too large over-trusts rules grounded on an immature classifier),
+and the ramp matches or beats aggressive constant mixing because early-
+epoch rule groundings use unreliable classifier predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import fast_mode
+
+from repro.core import LogicLNCLClassifier, constant, exponential_ramp, sentiment_paper_config
+from repro.eval import accuracy, posterior_accuracy
+from repro.experiments import SentimentBenchConfig, bench_scale, build_sentiment_data
+from repro.experiments.sentiment_suite import _cnn
+from repro.logic import ButRule
+
+
+def _config() -> SentimentBenchConfig:
+    if fast_mode():
+        return SentimentBenchConfig(
+            num_train=250, num_dev=80, num_test=80, num_annotators=20,
+            epochs=4, feature_maps=12, embedding_dim=24, seeds=(0,),
+        )
+    scale = bench_scale()
+    return SentimentBenchConfig(
+        num_train=int(900 * scale), num_dev=250, num_test=250, epochs=12,
+        seeds=tuple(range(max(2, int(2 * scale)))),
+    )
+
+
+def _run_variant(task, config, seed, C, imitation):
+    lncl = sentiment_paper_config(epochs=config.epochs)
+    lncl.C = C
+    lncl.imitation = imitation
+    trainer = LogicLNCLClassifier(
+        _cnn(task, config, seed), lncl, np.random.default_rng(seed + 2000),
+        rule=ButRule(task.but_id),
+    )
+    trainer.fit(task.train, dev=task.dev)
+    test = task.test
+    return {
+        "prediction": accuracy(
+            test.labels, trainer.predict_teacher(test.tokens, test.lengths)
+        ),
+        "inference": posterior_accuracy(task.train.labels, trainer.inference_posterior()),
+    }
+
+
+def _run_sensitivity():
+    config = _config()
+    tasks = {seed: build_sentiment_data(seed, config) for seed in config.seeds}
+    lines = [
+        "=" * 88,
+        "Sensitivity of Logic-LNCL to C (Eq. 15) and k(t) (Eq. 9) — sentiment, teacher",
+        "=" * 88,
+        f"{'variant':<34}{'prediction':>12}{'inference':>12}",
+        "-" * 88,
+    ]
+    results = {}
+    sweeps = [
+        (f"C={c}, paper ramp", c, exponential_ramp(1.0, 0.94)) for c in (0.5, 2.0, 5.0, 10.0)
+    ] + [
+        (f"C=5, constant k={k}", 5.0, constant(k)) for k in (0.1, 0.5, 0.9)
+    ]
+    for label, C, imitation in sweeps:
+        runs = [_run_variant(tasks[s], config, s, C, imitation) for s in config.seeds]
+        prediction = float(np.mean([r["prediction"] for r in runs]))
+        inference = float(np.mean([r["inference"] for r in runs]))
+        results[label] = {"prediction": prediction, "inference": inference}
+        lines.append(f"{label:<34}{100 * prediction:>12.2f}{100 * inference:>12.2f}")
+    lines.append("-" * 88)
+    lines.append("paper setting: C=5 with k(t)=min{1, 1-0.94^t}")
+    lines.append("=" * 88)
+    return "\n".join(lines), results
+
+
+def test_sensitivity(benchmark, archive):
+    text, results = benchmark.pedantic(_run_sensitivity, rounds=1, iterations=1)
+    archive("sensitivity", text)
+    for result in results.values():
+        assert 0.0 <= result["prediction"] <= 1.0
+        assert 0.0 <= result["inference"] <= 1.0

@@ -1,0 +1,100 @@
+"""Table II — Sentiment Polarity (MTurk): prediction and inference accuracy.
+
+Regenerates every row of the paper's Table II on the simulated sentiment
+crowd: two-stage methods, probabilistic EM methods, the CrowdLayer family,
+Logic-LNCL student/teacher, the pure truth-inference block, and Gold.
+
+Absolute numbers differ from the paper (simulated data, scaled sizes); the
+*shape* must hold: Logic-LNCL ≥ competitors on both metrics, teacher ≥
+student, model-based inference (DS/GLAD/EM) ≥ MV.
+"""
+
+from __future__ import annotations
+
+from conftest import fast_mode
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    SENTIMENT_INFERENCE_METHODS,
+    SENTIMENT_METHODS,
+    Row,
+    SentimentBenchConfig,
+    Table,
+    aggregate_runs,
+    bench_scale,
+    build_sentiment_data,
+    run_sentiment_inference_method,
+    run_sentiment_method,
+)
+
+
+def _config() -> SentimentBenchConfig:
+    if fast_mode():
+        return SentimentBenchConfig(
+            num_train=250, num_dev=80, num_test=80, num_annotators=20,
+            epochs=4, feature_maps=12, embedding_dim=24, seeds=(0,),
+        )
+    scale = bench_scale()
+    return SentimentBenchConfig(
+        num_train=int(1200 * scale),
+        num_dev=int(300 * scale),
+        num_test=int(300 * scale),
+        seeds=tuple(range(max(2, int(3 * scale)))),
+    )
+
+
+def _run_table2() -> Table:
+    config = _config()
+    table = Table(
+        title="Table II — Sentiment Polarity (MTurk): accuracy (%)",
+        metrics=["prediction", "inference"],
+        notes=[
+            f"simulated crowd: {config.num_train} train / {config.num_annotators} annotators / "
+            f"{config.mean_labels_per_instance} labels per instance; "
+            f"{len(config.seeds)} seeds x {config.epochs} epochs",
+            "paper columns: 4,999 train / 203 annotators / 50 runs on a V100",
+        ],
+    )
+    tasks = {seed: build_sentiment_data(seed, config) for seed in config.seeds}
+    per_method_runs: dict[str, list[dict[str, float]]] = {}
+    for name in SENTIMENT_METHODS:
+        runs = [run_sentiment_method(name, tasks[seed], config, seed) for seed in config.seeds]
+        per_method_runs[name] = runs
+        mean, std = aggregate_runs(runs)
+        table.add(Row(name, mean, std, PAPER_TABLE2.get(name, {})))
+    for name in SENTIMENT_INFERENCE_METHODS:
+        runs = [run_sentiment_inference_method(name, tasks[seed]) for seed in config.seeds]
+        mean, std = aggregate_runs(runs)
+        table.add(Row(name, mean, std, PAPER_TABLE2.get(name, {})))
+
+    # Paper §VI-B: one-sided t-tests of Logic-LNCL vs the strongest
+    # competitor (AggNet) over seeded runs. With few bench seeds the test
+    # is underpowered; the t direction is still informative.
+    if len(config.seeds) >= 2:
+        import numpy as np
+
+        from repro.eval import one_sided_t_test
+
+        aggnet = np.array([run["prediction"] for run in per_method_runs["AggNet"]])
+        for variant in ("Logic-LNCL-student", "Logic-LNCL-teacher"):
+            ours = np.array([run["prediction"] for run in per_method_runs[variant]])
+            result = one_sided_t_test(ours, aggnet)
+            table.notes.append(
+                f"t-test {variant} > AggNet (prediction): t={result.t_value:.2f}, "
+                f"p={result.p_value:.3f} (paper: t=3.0/5.7, p<0.01 over 50 runs)"
+            )
+    return table
+
+
+def test_table2_sentiment(benchmark, archive):
+    table = benchmark.pedantic(_run_table2, rounds=1, iterations=1)
+    archive("table2_sentiment", table.render())
+
+    # Shape checks (loose; see EXPERIMENTS.md for the recorded comparison).
+    for row in table.rows:
+        for value in row.measured.values():
+            assert 0.0 <= value <= 1.0
+    # Logic-LNCL inference must at least match the MV initialization.
+    assert table.measured("Logic-LNCL-teacher", "inference") >= table.measured("MV", "inference") - 0.02
+    # Gold is a meaningful upper-ish bound for prediction.
+    assert table.measured("Gold", "prediction") > 0.55

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper artifact (table or figure), prints it in
+paper layout with paper-vs-measured columns, and archives the rendering
+under ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiplies corpus sizes / seed counts (default 1).
+* ``REPRO_BENCH_FAST=1`` — micro sizes for smoke-testing the harness.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def archive(results_dir):
+    """Callable: archive(name, text) → writes results/<name>.txt and prints."""
+
+    def _archive(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        print(f"[archived to {path}]")
+
+    return _archive

@@ -1,0 +1,108 @@
+"""Authoring your own PSL rules and plugging them into Logic-LNCL.
+
+The framework accepts *any* first-order soft-logic rule in the PSL
+formalism (paper §III-A). This example shows the three layers of the rule
+API:
+
+1. the generic engine — build formulas with ``&``, ``|``, ``~``, ``>>``
+   and evaluate Łukasiewicz soft truth values (the paper's Eq. 3-4 voting
+   example);
+2. the posterior-regularization closed form (Eq. 15) applied to an
+   arbitrary penalty you compute from your own rules;
+3. a custom groundable rule driving an actual Logic-LNCL training run —
+   here a *negation-aware* variant of the "but" rule that also treats
+   "however" as a (lower-weight) contrast marker.
+
+Run:  python examples/custom_rules.py
+"""
+
+import numpy as np
+
+from repro.core import LogicLNCLClassifier, sentiment_paper_config
+from repro.crowd import sample_annotator_pool, simulate_classification_crowd
+from repro.data import SentimentCorpusConfig, make_sentiment_task
+from repro.eval import accuracy
+from repro.logic import Atom, ButRule, Rule, RuleSet, distill_posterior
+from repro.models import TextCNN, TextCNNConfig
+
+
+def part1_generic_engine() -> None:
+    print("1) Generic PSL engine — the paper's voting rule (Eq. 3):")
+    friend = Atom("friend(B,A)")
+    votes_a = Atom("votesFor(A,P)")
+    votes_b = Atom("votesFor(B,P)")
+    rule = Rule("voting", (friend & votes_a) >> votes_b, weight=1.0)
+    interpretation = {"friend(B,A)": 1.0, "votesFor(A,P)": 0.9, "votesFor(B,P)": 0.4}
+    print(f"   rule value v = {rule.value(interpretation):.2f}   "
+          f"distance to satisfaction d = {rule.distance_to_satisfaction(interpretation):.2f}")
+
+    rules = RuleSet([rule, Rule("prior", ~Atom("votesFor(B,P)") >> Atom("abstains(B)"), 0.3)])
+    interpretation["abstains(B)"] = 0.2
+    print(f"   aggregate penalty Σ w·(1-v) = {rules.penalty(interpretation):.2f}")
+
+
+def part2_posterior_regularization() -> None:
+    print("\n2) Eq. 15 closed form — projecting a posterior onto rules:")
+    qa = np.array([[0.55, 0.45], [0.5, 0.5]])
+    # Suppose our rules penalize class 1 on the first instance only.
+    penalties = np.array([[0.0, 0.8], [0.0, 0.0]])
+    qb = distill_posterior(qa, penalties, C=5.0)
+    for i in range(2):
+        print(f"   qa={qa[i]} → qb={np.round(qb[i], 3)}")
+
+
+class ContrastRule:
+    """Custom groundable rule: 'but' (w=1.0) OR 'however' (w=0.5) contrast.
+
+    Any object with a ``penalties(tokens, lengths, predict_proba) → (B, K)``
+    method can be passed to :class:`LogicLNCLClassifier` as the rule; this
+    one composes the library's :class:`ButRule` for both trigger words,
+    taking the elementwise maximum of the two penalty fields (a grounded
+    sentence is constrained by its strongest applicable rule).
+    """
+
+    def __init__(self, but_id: int, however_id: int, num_classes: int = 2) -> None:
+        self.strong = ButRule(but_id, num_classes=num_classes, weight=1.0)
+        self.weak = ButRule(however_id, num_classes=num_classes, weight=0.5)
+
+    def penalties(self, tokens, lengths, predict_proba):
+        strong = self.strong.penalties(tokens, lengths, predict_proba)
+        weak = self.weak.penalties(tokens, lengths, predict_proba)
+        return np.maximum(strong, weak)
+
+
+def part3_custom_rule_in_training() -> None:
+    print("\n3) Custom rule inside Logic-LNCL training:")
+    rng = np.random.default_rng(3)
+    task = make_sentiment_task(
+        rng, SentimentCorpusConfig(num_train=500, num_dev=150, num_test=150, embedding_dim=32)
+    )
+    pool = sample_annotator_pool(rng, 30, 2)
+    task.train.crowd = simulate_classification_crowd(rng, task.train.labels, pool, 5.0)
+
+    results = {}
+    for label, rule in (
+        ("but only (paper)", ButRule(task.but_id)),
+        ("but + however (custom)", ContrastRule(task.but_id, task.however_id)),
+    ):
+        trainer = LogicLNCLClassifier(
+            TextCNN(task.embeddings, TextCNNConfig(feature_maps=24), np.random.default_rng(0)),
+            sentiment_paper_config(epochs=10),
+            np.random.default_rng(1),
+            rule=rule,
+        )
+        trainer.fit(task.train, dev=task.dev)
+        score = accuracy(
+            task.test.labels,
+            trainer.predict_teacher(task.test.tokens, task.test.lengths),
+        )
+        results[label] = score
+        print(f"   {label:<26} teacher accuracy = {score:.4f}")
+    print("   ('however' has weaker dominance in the corpus, so the custom")
+    print("    rule's extra groundings trade precision for coverage.)")
+
+
+if __name__ == "__main__":
+    part1_generic_engine()
+    part2_posterior_regularization()
+    part3_custom_rule_in_training()

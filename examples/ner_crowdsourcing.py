@@ -1,0 +1,103 @@
+"""Named-entity recognition from a noisy crowd, with transition-rule logic.
+
+The paper's second instantiation: a CNN+GRU tagger learns CoNLL-style BIO
+tags from crowd annotations that contain ignore / boundary / span-type
+errors. The Eq. 18-19 transition rules ("I-X must follow B-X or I-X") are
+distilled into the learning targets through the chain-DP version of Eq. 15,
+and applied again at test time by the teacher predictor.
+
+This example shows:
+* how sequential truth inference (HMM-Crowd) compares with token-level MV;
+* how the rules repair invalid BIO transitions the student still produces;
+* the student/teacher gap on strict span F1.
+
+Run:  python examples/ner_crowdsourcing.py
+"""
+
+import numpy as np
+
+from repro.core import LogicLNCLSequenceTagger, ner_paper_config
+from repro.crowd import sample_ner_pool, sequence_annotator_report, simulate_ner_crowd
+from repro.data import CONLL_LABELS, NERCorpusConfig, make_ner_task
+from repro.eval import span_f1_score
+from repro.inference import HMMCrowd, MajorityVote, TokenLevelInference
+from repro.logic import bio_transition_rules
+from repro.models import NERTagger, NERTaggerConfig
+
+
+def count_invalid_transitions(sequences) -> int:
+    """Count I-X tags whose predecessor is neither B-X nor I-X."""
+    bad = 0
+    for seq in sequences:
+        previous = "O"
+        for tag in seq:
+            name = CONLL_LABELS[int(tag)]
+            if name.startswith("I-") and previous not in (f"B-{name[2:]}", name):
+                bad += 1
+            previous = name
+    return bad
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    print("Generating the synthetic CoNLL-style corpus ...")
+    task = make_ner_task(
+        rng, NERCorpusConfig(num_train=400, num_dev=120, num_test=120, embedding_dim=32)
+    )
+
+    print("Simulating the NER crowd (ignore / boundary / span-type errors) ...")
+    pool = sample_ner_pool(rng, num_annotators=20)
+    task.train.crowd = simulate_ner_crowd(
+        rng, task.train.tags, pool, mean_labels_per_instance=4.0
+    )
+    report = sequence_annotator_report(task.train.crowd, task.train.tags)
+    active = report.counts >= 3
+    print(
+        f"  annotator span F1 ranges {report.quality[active].min():.2f}"
+        f"–{report.quality[active].max():.2f} (paper: 0.176–0.891)"
+    )
+
+    print("Aggregation-only comparison on the training set:")
+    mv = TokenLevelInference(MajorityVote()).infer(task.train.crowd)
+    hmm = HMMCrowd(max_iterations=15).infer(task.train.crowd)
+    for name, result in (("token MV", mv), ("HMM-Crowd", hmm)):
+        f1 = span_f1_score(task.train.tags, result.hard_labels()).f1
+        print(f"  {name:<12} span F1 = {f1:.4f}")
+
+    print("Training Logic-LNCL (CNN+GRU + BIO transition rules) ...")
+    config = ner_paper_config(epochs=12)
+    config.learning_rate = 1e-2  # scaled task trains faster at 1e-2
+    trainer = LogicLNCLSequenceTagger(
+        NERTagger(task.embeddings, NERTaggerConfig(conv_features=64, gru_hidden=32), rng),
+        config,
+        rng,
+        rules=bio_transition_rules(CONLL_LABELS),
+    )
+    trainer.fit(task.train, dev=task.dev)
+
+    test = task.test
+    student = trainer.predict_student(test.tokens, test.lengths)
+    teacher = trainer.predict_teacher(test.tokens, test.lengths)
+
+    print()
+    print(f"{'predictor':<22}{'span F1':>10}{'invalid I-X transitions':>28}")
+    print("-" * 60)
+    print(
+        f"{'student p(t|x)':<22}{span_f1_score(test.tags, student).f1:>10.4f}"
+        f"{count_invalid_transitions(student):>28d}"
+    )
+    print(
+        f"{'teacher (Eq. 15 DP)':<22}{span_f1_score(test.tags, teacher).f1:>10.4f}"
+        f"{count_invalid_transitions(teacher):>28d}"
+    )
+    inference_f1 = span_f1_score(
+        task.train.tags, [q.argmax(axis=1) for q in trainer.inference_posterior()]
+    ).f1
+    print(f"\nqf(t) inference span F1 on the training set: {inference_f1:.4f}")
+    print("The teacher's chain decoding should eliminate invalid transitions")
+    print("and raise precision, as in the paper's Table III.")
+
+
+if __name__ == "__main__":
+    main()

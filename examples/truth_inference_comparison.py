@@ -1,0 +1,64 @@
+"""Comparing eight truth-inference methods on one simulated crowd.
+
+The two-stage LNCL pipeline (paper Fig. 1, upper path) lives or dies by
+its aggregation step. This example sweeps crowd difficulty — redundancy
+(labels per instance) and annotator quality — and shows where the
+model-based methods (DS, GLAD, IBCC) pull away from heuristics (MV, PM,
+CATD), mirroring the Table II "Truth Inference" block.
+
+Run:  python examples/truth_inference_comparison.py
+"""
+
+import numpy as np
+
+from repro.crowd import AnnotatorPool, sample_confusion_matrix, simulate_classification_crowd
+from repro.eval import posterior_accuracy
+from repro.inference import CATD, GLAD, IBCC, PM, DawidSkene, MajorityVote
+
+
+def make_pool(rng: np.random.Generator, num_annotators: int, spammer_fraction: float) -> AnnotatorPool:
+    """Pool with a controllable fraction of near-random spammers."""
+    confusions = np.zeros((num_annotators, 2, 2))
+    for j in range(num_annotators):
+        if rng.random() < spammer_fraction:
+            accuracy_level = rng.uniform(0.40, 0.55)
+        else:
+            accuracy_level = rng.uniform(0.75, 0.95)
+        confusions[j] = sample_confusion_matrix(rng, accuracy_level, 2)
+    activity = (rng.permutation(num_annotators) + 1.0) ** -1.1
+    return AnnotatorPool(confusions, activity)
+
+
+def main() -> None:
+    methods = {
+        "MV": MajorityVote(),
+        "DS": DawidSkene(),
+        "GLAD": GLAD(),
+        "PM": PM(),
+        "CATD": CATD(),
+        "IBCC": IBCC(),
+    }
+    print(f"{'redundancy':>10} {'spammers':>9} | " + " ".join(f"{m:>7}" for m in methods))
+    print("-" * 75)
+    for redundancy in (2.0, 4.0, 6.0):
+        for spammer_fraction in (0.1, 0.4):
+            rng = np.random.default_rng(42)
+            truth = rng.integers(0, 2, size=1500)
+            pool = make_pool(rng, 50, spammer_fraction)
+            crowd = simulate_classification_crowd(
+                rng, truth, pool, mean_labels_per_instance=redundancy
+            )
+            row = []
+            for method in methods.values():
+                result = method.infer(crowd)
+                row.append(posterior_accuracy(truth, result.posterior))
+            cells = " ".join(f"{100 * v:7.2f}" for v in row)
+            print(f"{redundancy:>10.1f} {spammer_fraction:>9.1f} | {cells}")
+    print()
+    print("Expected shape (as in the paper's Table II block): the confusion-")
+    print("matrix methods (DS, IBCC) dominate when spammers are common and")
+    print("redundancy is low; everything converges as redundancy grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Weak supervision: Logic-LNCL on labeling functions instead of humans.
+
+The paper's Discussion (§VIII) observes that LNCL methods transfer to weak
+supervision, where annotation "sources" are programs (labeling functions,
+LFs) rather than crowd workers. An LF's sparse votes form exactly the
+instance × source label matrix the crowd model expects, so the whole
+framework — confusion matrices per source, Eq. 13 inference, logic-rule
+distillation — runs unchanged.
+
+This example labels the synthetic sentiment corpus with:
+* two keyword LFs (polarity lexicon hits),
+* three noisy "heuristic" LFs of varying coverage/accuracy,
+
+then trains Logic-LNCL on the LF votes alone (no human labels) and
+compares against majority-vote-over-LFs.
+
+Run:  python examples/weak_supervision.py
+"""
+
+import numpy as np
+
+from repro.baselines import TrainerConfig, TwoStageClassifier
+from repro.core import LogicLNCLClassifier, sentiment_paper_config
+from repro.data import SentimentCorpusConfig, make_sentiment_task
+from repro.eval import accuracy, posterior_accuracy
+from repro.inference import MajorityVote
+from repro.logic import ButRule
+from repro.models import TextCNN, TextCNNConfig
+from repro.weak_supervision import KeywordLF, NoisyOracleLF, apply_labeling_functions
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    config = SentimentCorpusConfig(num_train=800, num_dev=200, num_test=200, embedding_dim=32)
+    task = make_sentiment_task(rng, config)
+
+    # Keyword LFs over subsets of the polarity lexicons (a real LF would
+    # only know *some* sentiment words).
+    pos_ids = [task.vocab.id_of(f"pos{i}") for i in range(0, config.num_positive_words, 2)]
+    neg_ids = [task.vocab.id_of(f"neg{i}") for i in range(0, config.num_negative_words, 2)]
+    lfs = [
+        KeywordLF("positive-lexicon", pos_ids, label=1),
+        KeywordLF("negative-lexicon", neg_ids, label=0),
+        NoisyOracleLF("heuristic-high-precision", task.train.labels, 2,
+                      coverage=0.3, accuracy=0.9, rng=rng),
+        NoisyOracleLF("heuristic-broad", task.train.labels, 2,
+                      coverage=0.8, accuracy=0.65, rng=rng),
+        NoisyOracleLF("heuristic-weak", task.train.labels, 2,
+                      coverage=0.5, accuracy=0.55, rng=rng),
+    ]
+
+    print("Applying labeling functions ...")
+    crowd = apply_labeling_functions(lfs, task.train)
+    task.train.crowd = crowd
+    coverage = crowd.observed_mask.any(axis=1).mean()
+    print(f"  coverage: {100 * coverage:.1f}% of instances got >= 1 vote; "
+          f"{crowd.total_annotations()} votes total")
+
+    print("Training Logic-LNCL on LF votes ...")
+    trainer = LogicLNCLClassifier(
+        TextCNN(task.embeddings, TextCNNConfig(feature_maps=32), rng),
+        sentiment_paper_config(epochs=12),
+        rng,
+        rule=ButRule(task.but_id),
+    )
+    trainer.fit(task.train, dev=task.dev)
+
+    print("Training MV-over-LFs baseline ...")
+    baseline = TwoStageClassifier(
+        TextCNN(task.embeddings, TextCNNConfig(feature_maps=32), rng),
+        MajorityVote(),
+        TrainerConfig(epochs=12),
+        rng,
+    )
+    baseline.fit(task.train, dev=task.dev)
+
+    test = task.test
+    print()
+    print(f"{'method':<28}{'test accuracy':>14}")
+    print("-" * 42)
+    print(f"{'MV over LFs + classifier':<28}"
+          f"{accuracy(test.labels, baseline.predict(test.tokens, test.lengths)):>14.4f}")
+    print(f"{'Logic-LNCL (teacher)':<28}"
+          f"{accuracy(test.labels, trainer.predict_teacher(test.tokens, test.lengths)):>14.4f}")
+    print()
+    print("Per-source reliability estimated by Eq. 12 (diagonal means):")
+    for lf, confusion in zip(lfs, trainer.confusions_):
+        reliability = float(np.diag(confusion).mean())
+        print(f"  {lf.name:<26} {reliability:.3f}")
+    print("\nThe high-precision heuristic should earn the highest estimated")
+    print("reliability and the weak one the lowest — the framework discovers")
+    print("source quality without any ground truth.")
+
+
+if __name__ == "__main__":
+    main()

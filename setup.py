@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments whose setuptools cannot build PEP 660 wheels."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Reproduction of "Learning from Noisy Crowd Labels with Logics" (ICDE 2023).
+
+Subpackages
+-----------
+``repro.autodiff``
+    Pure-NumPy reverse-mode autodiff engine + NN layers + optimizers.
+``repro.logic``
+    Probabilistic soft logic, task rules, and the Eq. 14/15 distillation.
+``repro.crowd``
+    Crowd-label containers, simulators, annotator statistics.
+``repro.data``
+    Synthetic corpora, vocabularies, prototype embeddings, batching.
+``repro.inference``
+    Truth-inference baselines (MV, DS, GLAD, PM, CATD, IBCC, HMM-Crowd,
+    BSC-seq).
+``repro.models``
+    Kim-CNN, CNN+GRU tagger, bag-of-embeddings classifiers.
+``repro.baselines``
+    LNCL competitors (two-stage, Raykar/AggNet, CrowdLayer, DL-DN, Gold).
+``repro.core``
+    Logic-LNCL — the paper's contribution.
+``repro.eval``
+    Accuracy, strict span F1, statistics, reliability recovery.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.data import make_sentiment_task, SentimentCorpusConfig
+>>> from repro.crowd import sample_annotator_pool, simulate_classification_crowd
+>>> from repro.models import TextCNN, TextCNNConfig
+>>> from repro.logic import ButRule
+>>> from repro.core import LogicLNCLClassifier, sentiment_paper_config
+>>> rng = np.random.default_rng(0)
+>>> task = make_sentiment_task(rng, SentimentCorpusConfig(num_train=200, num_dev=50, num_test=50))
+>>> pool = sample_annotator_pool(rng, 20, 2)
+>>> task.train.crowd = simulate_classification_crowd(rng, task.train.labels, pool)
+>>> model = TextCNN(task.embeddings, TextCNNConfig(feature_maps=16), rng)
+>>> trainer = LogicLNCLClassifier(model, sentiment_paper_config(epochs=5), rng,
+...                               rule=ButRule(task.but_id))
+>>> _ = trainer.fit(task.train, dev=task.dev)
+>>> predictions = trainer.predict_teacher(task.test.tokens, task.test.lengths)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    autodiff,
+    baselines,
+    core,
+    crowd,
+    data,
+    eval,
+    inference,
+    logic,
+    models,
+    noisy_labels,
+    weak_supervision,
+)
+
+__all__ = [
+    "autodiff",
+    "logic",
+    "crowd",
+    "data",
+    "inference",
+    "models",
+    "baselines",
+    "core",
+    "eval",
+    "weak_supervision",
+    "noisy_labels",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Pure-NumPy reverse-mode autodiff engine (substitution S1 in DESIGN.md).
+
+Public surface::
+
+    from repro.autodiff import Tensor, no_grad
+    from repro.autodiff import functional as F
+    from repro.autodiff import nn, optim
+"""
+
+from . import functional
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,318 @@
+"""Neural-network functional operations on :class:`~repro.autodiff.Tensor`.
+
+These are the composite operations the paper's two architectures require:
+
+* ``embedding`` — static/trainable word-vector lookup;
+* ``conv1d_seq`` — 1-D convolution over the time axis of an embedded
+  sequence (Kim-CNN filter windows; the tagger's width-5 convolution);
+* ``max_over_time`` — max pooling over the (optionally masked) time axis;
+* ``softmax`` / ``log_softmax`` — numerically stable, any axis;
+* ``dropout`` — inverted dropout driven by an explicit RNG;
+* ``concat`` / ``stack`` — graph-aware joins used by multi-window CNNs and
+  the GRU time loop;
+* soft-target cross-entropy losses — the Logic-LNCL pseudo-M-step trains
+  against *distributions* ``qf(t)`` (paper Eq. 8/10), not hard labels, so the
+  losses accept a full target distribution and optional per-instance weights
+  (the ``num(J(i))`` weighting of Eq. 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "embedding",
+    "conv1d_seq",
+    "max_over_time",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "concat",
+    "stack",
+    "cross_entropy_soft",
+    "sequence_cross_entropy_soft",
+]
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices``.
+
+    Parameters
+    ----------
+    weight:
+        ``(vocab, dim)`` embedding matrix.
+    indices:
+        Integer array of any shape; output shape is ``indices.shape + (dim,)``.
+    """
+    idx = np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"embedding indices must be integers, got {idx.dtype}")
+    out_data = weight.data[idx]
+
+    def backward_fn(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.data.shape[1]))
+        weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward_fn)
+
+
+def _sliding_windows(data: np.ndarray, width: int) -> np.ndarray:
+    """Return ``(B, T - width + 1, width * D)`` windows of ``(B, T, D)`` data."""
+    batch, time, dim = data.shape
+    out_time = time - width + 1
+    windows = np.lib.stride_tricks.sliding_window_view(data, (width,), axis=1)
+    # sliding_window_view yields (B, out_time, D, width); reorder to
+    # (B, out_time, width, D) then flatten the window.
+    windows = windows.transpose(0, 1, 3, 2).reshape(batch, out_time, width * dim)
+    return np.ascontiguousarray(windows)
+
+
+def conv1d_seq(x: Tensor, weight: Tensor, bias: Tensor | None, width: int, pad: str = "valid") -> Tensor:
+    """1-D convolution over the time axis of a ``(B, T, D)`` sequence.
+
+    Implemented as im2col + matmul, which is exact and keeps the backward
+    pass a pair of matrix products plus a scatter-add.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, T, D)``.
+    weight:
+        Filter bank of shape ``(width * D, F)``.
+    bias:
+        Optional bias of shape ``(F,)``.
+    width:
+        Filter window length (paper: 3/4/5 for Kim-CNN, 5 for the tagger).
+    pad:
+        ``"valid"`` (output length ``T - width + 1``) or ``"same"``
+        (zero-padded so output length equals ``T``; used by the tagger so a
+        label is produced for every token).
+    """
+    if x.data.ndim != 3:
+        raise ValueError(f"conv1d_seq expects (B, T, D) input, got shape {x.shape}")
+    if pad not in ("valid", "same"):
+        raise ValueError(f"pad must be 'valid' or 'same', got {pad!r}")
+
+    batch, time, dim = x.data.shape
+    if weight.data.shape[0] != width * dim:
+        raise ValueError(
+            f"weight rows {weight.data.shape[0]} != width*dim = {width * dim}"
+        )
+
+    left = right = 0
+    data = x.data
+    if pad == "same":
+        left = (width - 1) // 2
+        right = width - 1 - left
+        data = np.pad(data, ((0, 0), (left, right), (0, 0)))
+    if data.shape[1] < width:
+        raise ValueError(
+            f"sequence length {time} shorter than filter width {width} with pad={pad!r}"
+        )
+
+    cols = _sliding_windows(data, width)          # (B, T_out, width*D)
+    out_data = cols @ weight.data                 # (B, T_out, F)
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if bias is not None and bias._tracked:
+            bias._accumulate(grad.sum(axis=(0, 1)))
+        if weight._tracked:
+            # (width*D, F) = sum_b cols_b^T @ grad_b
+            wgrad = np.einsum("btk,btf->kf", cols, grad)
+            weight._accumulate(wgrad)
+        if x._tracked:
+            gcols = grad @ weight.data.T          # (B, T_out, width*D)
+            gcols = gcols.reshape(batch, -1, width, dim)
+            xgrad = np.zeros_like(data)
+            for offset in range(width):
+                xgrad[:, offset : offset + gcols.shape[1], :] += gcols[:, :, offset, :]
+            if pad == "same":
+                xgrad = xgrad[:, left : left + time, :]
+            x._accumulate(xgrad)
+
+    return Tensor._make(out_data, parents, backward_fn)
+
+
+def max_over_time(x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+    """Max-pool a ``(B, T, F)`` tensor over the time axis to ``(B, F)``.
+
+    Parameters
+    ----------
+    mask:
+        Optional boolean ``(B, T)`` validity mask; padded positions are
+        excluded from the max. Every row must have at least one valid step.
+    """
+    data = x.data
+    if mask is not None:
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != data.shape[:2]:
+            raise ValueError(f"mask shape {m.shape} does not match {data.shape[:2]}")
+        if not m.any(axis=1).all():
+            raise ValueError("max_over_time mask has a row with no valid positions")
+        data = np.where(m[:, :, None], data, -np.inf)
+
+    out_data = data.max(axis=1)
+    argmax_mask = data == data.max(axis=1, keepdims=True)
+    first = np.cumsum(argmax_mask, axis=1) == 1
+    argmax_mask = argmax_mask & first
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(argmax_mask * grad[:, None, :])
+
+    return Tensor._make(out_data, (x,), backward_fn)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward_fn)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward_fn)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-rate)``.
+
+    The RNG is passed explicitly so training runs are reproducible end to
+    end (DESIGN.md scaling policy).
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.data.shape) < keep) / keep
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward_fn)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (graph-aware)."""
+    if not tensors:
+        raise ValueError("concat requires at least one tensor")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward_fn)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack equal-shape tensors along a new ``axis`` (graph-aware)."""
+    if not tensors:
+        raise ValueError("stack requires at least one tensor")
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            tensor._accumulate(piece)
+
+    return Tensor._make(out_data, tuple(tensors), backward_fn)
+
+
+def cross_entropy_soft(
+    logits: Tensor,
+    target: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Tensor:
+    """Soft-target cross-entropy ``-(1/B) sum_i w_i * <q_i, log p_i>``.
+
+    This is the pseudo-M-step loss of the paper: Eq. 8 with uniform weights,
+    Eq. 10 when ``weights`` carries ``num(J(i))`` (the number of annotators
+    per instance).
+
+    Parameters
+    ----------
+    logits:
+        ``(B, K)`` unnormalized scores.
+    target:
+        ``(B, K)`` target distribution (rows sum to one), a plain array —
+        targets are constants produced by the pseudo-E-step.
+    weights:
+        Optional ``(B,)`` per-instance weights.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    if target.shape != logits.shape:
+        raise ValueError(f"target shape {target.shape} != logits shape {logits.shape}")
+    logp = log_softmax(logits, axis=-1)
+    per_instance = -(Tensor(target) * logp).sum(axis=-1)
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (logits.shape[0],):
+            raise ValueError(f"weights shape {w.shape} != ({logits.shape[0]},)")
+        per_instance = per_instance * Tensor(w)
+    return per_instance.mean()
+
+
+def sequence_cross_entropy_soft(
+    logits: Tensor,
+    target: np.ndarray,
+    mask: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Tensor:
+    """Soft-target cross-entropy for sequence tagging, averaged over valid tokens.
+
+    Parameters
+    ----------
+    logits:
+        ``(B, T, K)`` per-token scores.
+    target:
+        ``(B, T, K)`` per-token target distributions.
+    mask:
+        Boolean ``(B, T)``; padded tokens contribute nothing.
+    weights:
+        Optional ``(B, T)`` per-token weights (Eq. 10 for sequences: number
+        of annotators who labeled the token).
+    """
+    target = np.asarray(target, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    if target.shape != logits.shape:
+        raise ValueError(f"target shape {target.shape} != logits shape {logits.shape}")
+    if mask.shape != logits.shape[:2]:
+        raise ValueError(f"mask shape {mask.shape} != {logits.shape[:2]}")
+    logp = log_softmax(logits, axis=-1)
+    per_token = -(Tensor(target) * logp).sum(axis=-1)
+    scale = mask
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != mask.shape:
+            raise ValueError(f"weights shape {w.shape} != mask shape {mask.shape}")
+        scale = mask * w
+    total = (per_token * Tensor(scale)).sum()
+    denom = max(float(mask.sum()), 1.0)
+    return total * (1.0 / denom)

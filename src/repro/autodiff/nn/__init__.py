@@ -1,0 +1,20 @@
+"""Neural-network layer library on top of :mod:`repro.autodiff`."""
+
+from . import init
+from .layers import Conv1dSeq, Dropout, Embedding, Linear, ReLU, Tanh
+from .module import Module, Sequential
+from .rnn import GRU, GRUCell
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "Conv1dSeq",
+    "Dropout",
+    "ReLU",
+    "Tanh",
+    "GRU",
+    "GRUCell",
+    "init",
+]

@@ -1,0 +1,87 @@
+"""Gated recurrent units.
+
+The paper's NER architecture (Rodrigues & Pereira, "Deep learning from
+crowds") feeds convolution features into a GRU with 50 hidden states; we
+implement a standard GRU cell plus a time-loop wrapper that respects padding
+masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from . import init
+from .module import Module
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Single-step GRU.
+
+    Update equations (PyTorch convention)::
+
+        r = sigmoid(x W_xr + h W_hr + b_r)
+        z = sigmoid(x W_xz + h W_hz + b_z)
+        n = tanh(x W_xn + r * (h W_hn) + b_n)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+        def w_in() -> Tensor:
+            return Tensor(
+                init.glorot_uniform(rng, input_dim, hidden_dim), requires_grad=True
+            )
+
+        def w_rec() -> Tensor:
+            return Tensor(init.orthogonal(rng, (hidden_dim, hidden_dim)), requires_grad=True)
+
+        def b() -> Tensor:
+            return Tensor(init.zeros((hidden_dim,)), requires_grad=True)
+
+        self.w_xr, self.w_hr, self.b_r = w_in(), w_rec(), b()
+        self.w_xz, self.w_hz, self.b_z = w_in(), w_rec(), b()
+        self.w_xn, self.w_hn, self.b_n = w_in(), w_rec(), b()
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """Advance one step: ``x`` is ``(B, D)``, ``h`` is ``(B, H)``."""
+        r = (x @ self.w_xr + h @ self.w_hr + self.b_r).sigmoid()
+        z = (x @ self.w_xz + h @ self.w_hz + self.b_z).sigmoid()
+        n = (x @ self.w_xn + r * (h @ self.w_hn) + self.b_n).tanh()
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * n + z * h
+
+
+class GRU(Module):
+    """Unidirectional GRU over ``(B, T, D)`` sequences.
+
+    Padded steps (mask 0) copy the previous hidden state forward, so the
+    final states and per-step outputs are invariant to padding length.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Return per-step hidden states ``(B, T, H)``."""
+        batch, time, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs: list[Tensor] = []
+        for t in range(time):
+            x_t = x[:, t, :]
+            h_new = self.cell(x_t, h)
+            if mask is not None:
+                m = np.asarray(mask[:, t], dtype=np.float64)[:, None]
+                h = h_new * Tensor(m) + h * Tensor(1.0 - m)
+            else:
+                h = h_new
+            outputs.append(h)
+        return F.stack(outputs, axis=1)

@@ -1,0 +1,5 @@
+"""Optimizers and learning-rate schedules (Table I of the paper)."""
+
+from .optimizers import SGD, Adadelta, Adam, Optimizer, StepDecay, clip_grad_norm
+
+__all__ = ["Optimizer", "SGD", "Adam", "Adadelta", "StepDecay", "clip_grad_norm"]

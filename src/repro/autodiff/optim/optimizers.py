@@ -1,0 +1,179 @@
+"""Optimizers: SGD, Adam, Adadelta — the ones Table I of the paper uses.
+
+The sentiment task trains with Adadelta at learning rate 1.0 with "decay by
+half every 5 epochs"; the NER task with Adam at 1e-3. Both are provided,
+plus plain SGD for tests, a step-decay schedule, and global-norm gradient
+clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "Adadelta", "StepDecay", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and the learning rate."""
+
+    def __init__(self, parameters: list[Tensor], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            parameter.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Adadelta(Optimizer):
+    """Adadelta (Zeiler 2012): per-dimension adaptive steps without an
+    explicit base learning rate; ``lr`` is the final scaling multiplier (1.0
+    in the paper's sentiment configuration)."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1.0,
+        rho: float = 0.95,
+        eps: float = 1e-6,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.rho = rho
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._acc_grad = [np.zeros_like(p.data) for p in self.parameters]
+        self._acc_delta = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, acc_g, acc_d in zip(self.parameters, self._acc_grad, self._acc_delta):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            acc_g *= self.rho
+            acc_g += (1.0 - self.rho) * grad**2
+            delta = -np.sqrt(acc_d + self.eps) / np.sqrt(acc_g + self.eps) * grad
+            acc_d *= self.rho
+            acc_d += (1.0 - self.rho) * delta**2
+            parameter.data += self.lr * delta
+
+
+class StepDecay:
+    """Multiply the optimizer's learning rate by ``factor`` every ``every`` epochs.
+
+    Table I: "decay by half every 5 epochs" for the sentiment configuration.
+    """
+
+    def __init__(self, optimizer: Optimizer, every: int = 5, factor: float = 0.5) -> None:
+        if every <= 0:
+            raise ValueError(f"'every' must be positive, got {every}")
+        self.optimizer = optimizer
+        self.every = every
+        self.factor = factor
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the (possibly updated) learning rate."""
+        self._epoch += 1
+        if self._epoch % self.every == 0:
+            self.optimizer.lr *= self.factor
+        return self.optimizer.lr
+
+
+def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm. Parameters without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad *= scale
+    return norm

@@ -1,0 +1,459 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the paper-reproduction stack: the original
+work trains its classifiers with PyTorch on a Tesla V100, which is not
+available offline, so we re-implement the needed subset of a deep-learning
+framework on top of NumPy (substitution S1 in DESIGN.md).
+
+The design is a vectorized "micrograd": every :class:`Tensor` wraps one
+``numpy.ndarray`` and records a closure that, given the gradient of the loss
+with respect to the tensor, accumulates gradients into its parents.
+:meth:`Tensor.backward` runs those closures in reverse topological order.
+
+Only the operations required by the paper's two architectures (Kim-CNN and
+the CNN+GRU tagger) and by the Logic-LNCL training objectives are
+implemented, but they are implemented fully (broadcasting, slicing,
+reductions with keepdims, etc.) so the layer library in
+:mod:`repro.autodiff.nn` can be written naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Used at evaluation time; mirrors ``torch.no_grad``. Operations executed
+    inside the context produce tensors with no parents and no backward
+    closures, so no memory is spent on the tape.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcast op.
+
+    NumPy broadcasting can prepend axes and stretch length-1 axes; the
+    gradient of a broadcast is the sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    stretched = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value if value.dtype == np.float64 else value.astype(np.float64)
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A NumPy array plus an entry on the autodiff tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; stored as ``float64``.
+    requires_grad:
+        If true, :meth:`backward` will leave the accumulated gradient in
+        :attr:`grad` for this tensor (i.e. this is a leaf/parameter).
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None) -> None:
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the scalar payload of a 1-element tensor."""
+        if self.data.size != 1:
+            raise ValueError(f"item() requires a 1-element tensor, got shape {self.shape}")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Graph plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, recording the tape entry only when needed."""
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p._tracked for p in parents):
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    @property
+    def _tracked(self) -> bool:
+        """True when gradients must flow through (or stop at) this tensor."""
+        return self.requires_grad or self._backward_fn is not None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's buffer (leaves and intermediates).
+
+        Intermediates need a buffer too, so diamond-shaped graphs sum the
+        contributions from every consumer before the node's own backward
+        closure runs.
+        """
+        if not self._tracked:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer."""
+        self.grad = None
+
+    def _topo_order(self) -> list["Tensor"]:
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Gradients of leaf tensors created with ``requires_grad=True`` are
+        accumulated into their :attr:`grad`; intermediate buffers are freed
+        once consumed.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the objective w.r.t. this tensor. Defaults to 1.0,
+            which requires the tensor to be scalar-shaped.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
+                )
+
+        order = self._topo_order()
+        # Stale intermediate buffers from a previous pass must not leak in.
+        for node in order:
+            if node._backward_fn is not None and node is not self:
+                node.grad = None
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward_fn is None or node.grad is None:
+                continue
+            node_grad, node.grad = node.grad, None
+            node._backward_fn(node_grad)
+            if node.requires_grad:
+                # Rare case: a tracked intermediate explicitly marked as a
+                # leaf as well; keep its gradient visible.
+                node.grad = node_grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.data.shape))
+            other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return Tensor._make(self.data + other.data, (self, other), backward_fn)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward_fn)
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.data.shape))
+            other._accumulate(_unbroadcast(-grad, other.data.shape))
+
+        return Tensor._make(self.data - other.data, (self, other), backward_fn)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor._make(self.data * other.data, (self, other), backward_fn)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
+            )
+
+        return Tensor._make(self.data / other.data, (self, other), backward_fn)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data**exponent, (self,), backward_fn)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        if self.data.ndim < 2 or other.data.ndim < 2:
+            raise ValueError("matmul requires operands with ndim >= 2")
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self._tracked:
+                g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(g, self.data.shape))
+            if other._tracked:
+                g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(g, other.data.shape))
+
+        return Tensor._make(self.data @ other.data, (self, other), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def log(self) -> "Tensor":
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward_fn)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.abs(self.data))),
+            np.exp(-np.abs(self.data)) / (1.0 + np.exp(-np.abs(self.data))),
+        )
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward_fn)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient flows only through the unclipped region."""
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Max along one axis; gradient is routed to the first argmax entry."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        expanded = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == expanded
+        first = np.cumsum(mask, axis=axis) == 1
+        mask = mask & first
+
+        def backward_fn(grad: np.ndarray) -> None:
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            self._accumulate(mask * g)
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.data.shape))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward_fn)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
+        inverse = tuple(np.argsort(axes_tuple))
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes_tuple), (self,), backward_fn)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = np.array(self.data[index], copy=True)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward_fn)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
+        return Tensor(array, requires_grad=requires_grad)

@@ -1,0 +1,45 @@
+"""LNCL competitor methods (Tables II/III) and shared training machinery."""
+
+from .aggnet import AggNetClassifier, AggNetSequenceTagger, RaykarClassifier
+from .common import (
+    EarlyStopping,
+    TrainerConfig,
+    build_optimizer,
+    fit_classifier,
+    fit_tagger,
+    predict_proba_batched,
+    predict_sequence_proba_batched,
+    run_classification_epoch,
+    run_sequence_epoch,
+)
+from .crowd_layer import (
+    CROWD_LAYER_VARIANTS,
+    CrowdLayerClassifier,
+    CrowdLayerSequenceTagger,
+)
+from .dl_dn import DeepMultiNetworkClassifier
+from .gold import train_gold_classifier, train_gold_tagger
+from .two_stage import TwoStageClassifier, TwoStageSequenceTagger
+
+__all__ = [
+    "TrainerConfig",
+    "build_optimizer",
+    "EarlyStopping",
+    "run_classification_epoch",
+    "run_sequence_epoch",
+    "predict_proba_batched",
+    "predict_sequence_proba_batched",
+    "fit_classifier",
+    "fit_tagger",
+    "TwoStageClassifier",
+    "TwoStageSequenceTagger",
+    "AggNetClassifier",
+    "AggNetSequenceTagger",
+    "RaykarClassifier",
+    "CrowdLayerClassifier",
+    "CrowdLayerSequenceTagger",
+    "CROWD_LAYER_VARIANTS",
+    "DeepMultiNetworkClassifier",
+    "train_gold_classifier",
+    "train_gold_tagger",
+]

@@ -1,0 +1,59 @@
+"""AggNet (Albarqouni et al., 2016) and Raykar et al. (2010).
+
+Both are the canonical latent-truth EM of §II-B: a classifier plus
+per-annotator confusion matrices, alternating Bayes-rule posteriors with
+classifier/annotator updates. They differ only in the classifier family —
+Raykar uses logistic regression, AggNet a deep network.
+
+Algorithmically this is exactly Logic-LNCL with no rules (the paper's
+*w/o-Rule* ablation), so both wrappers delegate to the core implementation
+with ``rule=None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import LogicLNCLConfig
+from ..core.logic_lncl import LogicLNCLClassifier
+from ..core.sequence_lncl import LogicLNCLSequenceTagger
+from ..models.base import SequenceTagger, TextClassifier
+from ..models.mlp import BagOfEmbeddingsClassifier
+
+__all__ = ["AggNetClassifier", "AggNetSequenceTagger", "RaykarClassifier"]
+
+
+class AggNetClassifier(LogicLNCLClassifier):
+    """Deep EM from crowds — classification (rule-free Logic-LNCL)."""
+
+    def __init__(
+        self, model: TextClassifier, config: LogicLNCLConfig, rng: np.random.Generator
+    ) -> None:
+        super().__init__(model, config, rng, rule=None)
+
+
+class AggNetSequenceTagger(LogicLNCLSequenceTagger):
+    """Deep EM from crowds — sequence tagging (rule-free Logic-LNCL)."""
+
+    def __init__(
+        self, model: SequenceTagger, config: LogicLNCLConfig, rng: np.random.Generator
+    ) -> None:
+        super().__init__(model, config, rng, rules=None)
+
+
+class RaykarClassifier(LogicLNCLClassifier):
+    """Raykar et al. (2010): EM with a logistic-regression classifier.
+
+    Realized as a linear softmax over mean-pooled frozen embeddings
+    (:class:`~repro.models.BagOfEmbeddingsClassifier`).
+    """
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        num_classes: int,
+        config: LogicLNCLConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        model = BagOfEmbeddingsClassifier(embeddings, num_classes, rng)
+        super().__init__(model, config, rng, rule=None)

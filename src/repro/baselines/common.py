@@ -1,0 +1,278 @@
+"""Shared training machinery: optimizer construction, epoch loops, early
+stopping. Used by every LNCL method (two-stage, EM family, CrowdLayer,
+DL-DN, Gold) and by Logic-LNCL itself.
+
+Hyper-parameter defaults follow Table I of the paper; the dev set picks the
+early-stopping epoch with patience 5 for *all* methods, exactly as §VI-A3
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import functional as F
+from ..autodiff.nn import Module
+from ..autodiff.optim import SGD, Adadelta, Adam, Optimizer, StepDecay, clip_grad_norm
+from ..data.loaders import batch_indices
+from ..eval.classification import accuracy
+from ..eval.ner_f1 import span_f1_score
+from ..models.base import SequenceTagger, TextClassifier
+
+__all__ = [
+    "TrainerConfig",
+    "build_optimizer",
+    "EarlyStopping",
+    "run_classification_epoch",
+    "run_sequence_epoch",
+    "predict_proba_batched",
+    "predict_sequence_proba_batched",
+    "fit_classifier",
+    "fit_tagger",
+]
+
+
+@dataclass
+class TrainerConfig:
+    """Generic training hyper-parameters.
+
+    Sentiment paper values: Adadelta, lr 1.0 halved every 5 epochs, batch
+    50, 30 epochs, patience 5. NER: Adam 1e-3, batch 64, 30 epochs,
+    patience 5.
+    """
+
+    epochs: int = 30
+    batch_size: int = 50
+    optimizer: str = "adadelta"
+    learning_rate: float = 1.0
+    lr_decay_every: int | None = 5
+    lr_decay_factor: float = 0.5
+    patience: int = 5
+    grad_clip: float | None = 5.0
+    weighted_loss: bool = False  # Eq. 10 (num annotators) vs Eq. 8
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("need at least one epoch")
+        if self.batch_size < 1:
+            raise ValueError("batch size must be positive")
+        if self.optimizer not in ("adadelta", "adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+
+def build_optimizer(parameters, config: TrainerConfig) -> tuple[Optimizer, StepDecay | None]:
+    """Instantiate the optimizer (and LR schedule) named by the config."""
+    if config.optimizer == "adadelta":
+        optimizer: Optimizer = Adadelta(parameters, lr=config.learning_rate)
+    elif config.optimizer == "adam":
+        optimizer = Adam(parameters, lr=config.learning_rate)
+    else:
+        optimizer = SGD(parameters, lr=config.learning_rate)
+    schedule = None
+    if config.lr_decay_every:
+        schedule = StepDecay(optimizer, every=config.lr_decay_every, factor=config.lr_decay_factor)
+    return optimizer, schedule
+
+
+class EarlyStopping:
+    """Patience-based early stopping that snapshots the best parameters."""
+
+    def __init__(self, model: Module, patience: int) -> None:
+        self.model = model
+        self.patience = patience
+        self.best_score = -np.inf
+        self.best_state: dict | None = None
+        self.bad_epochs = 0
+
+    def update(self, score: float) -> bool:
+        """Record an epoch's dev score; returns True when training should stop."""
+        if score > self.best_score:
+            self.best_score = score
+            self.best_state = self.model.state_dict()
+            self.bad_epochs = 0
+            return False
+        self.bad_epochs += 1
+        return self.bad_epochs >= self.patience
+
+    def restore_best(self) -> None:
+        if self.best_state is not None:
+            self.model.load_state_dict(self.best_state)
+
+
+def run_classification_epoch(
+    model: TextClassifier,
+    optimizer: Optimizer,
+    tokens: np.ndarray,
+    lengths: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+    config: TrainerConfig,
+    weights: np.ndarray | None = None,
+) -> float:
+    """One epoch of soft-target training (paper Eq. 8 / Eq. 10 + Eq. 11).
+
+    Returns the mean training loss. ``targets`` is the ``(I, K)`` learning
+    target — ``qf(t)`` for EM-family methods, one-hot labels otherwise.
+    """
+    model.train()
+    total_loss = 0.0
+    batches = 0
+    for batch in batch_indices(len(lengths), config.batch_size, rng=rng):
+        optimizer.zero_grad()
+        logits = model.logits(tokens[batch], lengths[batch])
+        batch_weights = weights[batch] if weights is not None else None
+        loss = F.cross_entropy_soft(logits, targets[batch], weights=batch_weights)
+        loss.backward()
+        if config.grad_clip:
+            clip_grad_norm(optimizer.parameters, config.grad_clip)
+        optimizer.step()
+        if hasattr(model, "apply_max_norm"):
+            model.apply_max_norm()
+        total_loss += loss.item()
+        batches += 1
+    return total_loss / max(batches, 1)
+
+
+def run_sequence_epoch(
+    model: SequenceTagger,
+    optimizer: Optimizer,
+    tokens: np.ndarray,
+    lengths: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+    config: TrainerConfig,
+    weights: np.ndarray | None = None,
+) -> float:
+    """One epoch of per-token soft-target training.
+
+    ``targets`` is ``(I, T, K)``; padded positions are masked from the loss.
+    ``weights`` (``(I, T)``) carries per-token annotator counts for Eq. 10.
+    """
+    model.train()
+    max_time = tokens.shape[1]
+    position = np.arange(max_time)[None, :]
+    total_loss = 0.0
+    batches = 0
+    for batch in batch_indices(len(lengths), config.batch_size, rng=rng):
+        optimizer.zero_grad()
+        logits = model.logits(tokens[batch], lengths[batch])
+        mask = position < lengths[batch][:, None]
+        batch_weights = weights[batch] if weights is not None else None
+        loss = F.sequence_cross_entropy_soft(
+            logits, targets[batch], mask, weights=batch_weights
+        )
+        loss.backward()
+        if config.grad_clip:
+            clip_grad_norm(optimizer.parameters, config.grad_clip)
+        optimizer.step()
+        total_loss += loss.item()
+        batches += 1
+    return total_loss / max(batches, 1)
+
+
+def predict_proba_batched(
+    model: TextClassifier, tokens: np.ndarray, lengths: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """``(I, K)`` probabilities computed in evaluation batches."""
+    pieces = [
+        model.predict_proba(tokens[batch], lengths[batch])
+        for batch in batch_indices(len(lengths), batch_size, shuffle=False)
+    ]
+    return np.concatenate(pieces, axis=0)
+
+
+def predict_sequence_proba_batched(
+    model: SequenceTagger, tokens: np.ndarray, lengths: np.ndarray, batch_size: int = 128
+) -> np.ndarray:
+    """``(I, T, K)`` per-token probabilities in evaluation batches."""
+    pieces = [
+        model.predict_proba(tokens[batch], lengths[batch])
+        for batch in batch_indices(len(lengths), batch_size, shuffle=False)
+    ]
+    return np.concatenate(pieces, axis=0)
+
+
+def fit_classifier(
+    model: TextClassifier,
+    config: TrainerConfig,
+    rng: np.random.Generator,
+    tokens: np.ndarray,
+    lengths: np.ndarray,
+    targets: np.ndarray,
+    dev: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    weights: np.ndarray | None = None,
+) -> dict:
+    """Supervised training against fixed (possibly soft) targets.
+
+    Used by Gold, the two-stage methods, and DL-DN member networks. With a
+    dev triple ``(tokens, lengths, labels)``, applies early stopping and
+    restores the best snapshot.
+
+    Returns a history dict with per-epoch losses and dev scores.
+    """
+    if targets.ndim == 1:  # hard labels → one-hot
+        targets = np.eye(model.num_classes)[targets]
+    optimizer, schedule = build_optimizer(model.parameters(), config)
+    stopper = EarlyStopping(model, config.patience) if dev is not None else None
+    history: dict = {"loss": [], "dev_score": []}
+    for _ in range(config.epochs):
+        loss = run_classification_epoch(
+            model, optimizer, tokens, lengths, targets, rng, config, weights=weights
+        )
+        history["loss"].append(loss)
+        if schedule is not None:
+            schedule.step()
+        if stopper is not None:
+            dev_tokens, dev_lengths, dev_labels = dev
+            score = accuracy(dev_labels, model.predict(dev_tokens, dev_lengths))
+            history["dev_score"].append(score)
+            if stopper.update(score):
+                break
+    if stopper is not None:
+        stopper.restore_best()
+        history["best_dev_score"] = stopper.best_score
+    return history
+
+
+def fit_tagger(
+    model: SequenceTagger,
+    config: TrainerConfig,
+    rng: np.random.Generator,
+    tokens: np.ndarray,
+    lengths: np.ndarray,
+    targets: np.ndarray,
+    dev: tuple[np.ndarray, np.ndarray, list[np.ndarray]] | None = None,
+    weights: np.ndarray | None = None,
+) -> dict:
+    """Supervised sequence training; dev metric is strict span F1."""
+    if targets.ndim == 2:  # hard tags → one-hot (padding rows become class 0)
+        targets = np.eye(model.num_classes)[targets]
+    if hasattr(model, "initialize_output_bias"):
+        mask = np.arange(tokens.shape[1])[None, :] < lengths[:, None]
+        priors = (targets * mask[:, :, None]).sum(axis=(0, 1))
+        model.initialize_output_bias(priors / priors.sum())
+    optimizer, schedule = build_optimizer(model.parameters(), config)
+    stopper = EarlyStopping(model, config.patience) if dev is not None else None
+    history: dict = {"loss": [], "dev_score": []}
+    for _ in range(config.epochs):
+        loss = run_sequence_epoch(
+            model, optimizer, tokens, lengths, targets, rng, config, weights=weights
+        )
+        history["loss"].append(loss)
+        if schedule is not None:
+            schedule.step()
+        if stopper is not None:
+            dev_tokens, dev_lengths, dev_tags = dev
+            predictions = model.predict(dev_tokens, dev_lengths)
+            score = span_f1_score(dev_tags, predictions).f1
+            history["dev_score"].append(score)
+            if stopper.update(score):
+                break
+    if stopper is not None:
+        stopper.restore_best()
+        history["best_dev_score"] = stopper.best_score
+    return history

@@ -1,0 +1,149 @@
+"""Two-stage LNCL: truth inference first, supervised learning second.
+
+The paper's MV-Classifier and GLAD-Classifier baselines (Fig. 1, upper
+path): estimate each instance's label with a truth-inference method, then
+train the classifier on the estimates as if they were gold. The optional
+``test_rule`` enables the *MV-t* ablation (Table IV): a plain MV-Classifier
+whose test-time predictions are adapted by Eq. 15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.common import TrainerConfig, fit_classifier, fit_tagger, predict_proba_batched
+from ..data.datasets import SequenceTaggingDataset, TextClassificationDataset
+from ..inference.base import TruthInferenceMethod
+from ..logic.distillation import chain_marginals, distill_posterior
+from ..logic.ner_rules import TransitionRules
+from ..logic.sentiment_rules import ButRule
+from ..models.base import SequenceTagger, TextClassifier
+
+__all__ = ["TwoStageClassifier", "TwoStageSequenceTagger"]
+
+
+class TwoStageClassifier:
+    """Truth inference + supervised classifier.
+
+    Parameters
+    ----------
+    model:
+        Classifier to train on the inferred labels.
+    inference:
+        Stage-one truth-inference method (MV, GLAD, DS, ...).
+    test_rule, C:
+        Optional Eq. 15 adaptation of test-time predictions (the MV-t
+        ablation); ``C`` is the regularization strength.
+    """
+
+    def __init__(
+        self,
+        model: TextClassifier,
+        inference: TruthInferenceMethod,
+        config: TrainerConfig,
+        rng: np.random.Generator,
+        test_rule: ButRule | None = None,
+        C: float = 5.0,
+    ) -> None:
+        self.model = model
+        self.inference = inference
+        self.config = config
+        self.rng = rng
+        self.test_rule = test_rule
+        self.C = C
+        self.inferred_posterior_: np.ndarray | None = None
+
+    def fit(
+        self,
+        train: TextClassificationDataset,
+        dev: TextClassificationDataset | None = None,
+    ) -> dict:
+        if train.crowd is None:
+            raise ValueError("training dataset carries no crowd labels")
+        result = self.inference.infer(train.crowd)
+        self.inferred_posterior_ = result.posterior
+        hard = np.eye(self.model.num_classes)[result.hard_labels()]
+        dev_triple = (dev.tokens, dev.lengths, dev.labels) if dev is not None else None
+        return fit_classifier(
+            self.model, self.config, self.rng, train.tokens, train.lengths, hard, dev_triple
+        )
+
+    def predict(self, tokens: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        return self.predict_proba(tokens, lengths).argmax(axis=1)
+
+    def predict_proba(self, tokens: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        proba = predict_proba_batched(self.model, tokens, lengths)
+        if self.test_rule is None:
+            return proba
+        penalties = self.test_rule.penalties(tokens, lengths, self.model.predict_proba)
+        return distill_posterior(proba, penalties, self.C)
+
+    def inference_posterior(self) -> np.ndarray:
+        """Stage-one posterior (the Inference column in Table II)."""
+        if self.inferred_posterior_ is None:
+            raise RuntimeError("fit() has not been run")
+        return self.inferred_posterior_
+
+
+class TwoStageSequenceTagger:
+    """Truth inference + supervised tagger (sequence analogue).
+
+    ``inference`` is any object with ``infer(SequenceCrowdLabels) →
+    SequenceInferenceResult`` — a :class:`TokenLevelInference`-wrapped
+    method or a native sequential one (HMM-Crowd, BSC-seq).
+    """
+
+    def __init__(
+        self,
+        model: SequenceTagger,
+        inference,
+        config: TrainerConfig,
+        rng: np.random.Generator,
+        test_rules: TransitionRules | None = None,
+        C: float = 5.0,
+    ) -> None:
+        self.model = model
+        self.inference = inference
+        self.config = config
+        self.rng = rng
+        self.test_rules = test_rules
+        self.C = C
+        self.inferred_posteriors_: list[np.ndarray] | None = None
+
+    def fit(
+        self,
+        train: SequenceTaggingDataset,
+        dev: SequenceTaggingDataset | None = None,
+    ) -> dict:
+        if train.crowd is None:
+            raise ValueError("training dataset carries no crowd labels")
+        result = self.inference.infer(train.crowd)
+        self.inferred_posteriors_ = result.posteriors
+        K = self.model.num_classes
+        max_time = train.tokens.shape[1]
+        targets = np.zeros((len(train), max_time, K))
+        for i, hard in enumerate(result.hard_labels()):
+            targets[i, : len(hard)] = np.eye(K)[hard]
+        dev_triple = (dev.tokens, dev.lengths, dev.tags) if dev is not None else None
+        return fit_tagger(
+            self.model, self.config, self.rng, train.tokens, train.lengths, targets, dev_triple
+        )
+
+    def predict(self, tokens: np.ndarray, lengths: np.ndarray) -> list[np.ndarray]:
+        from ..baselines.common import predict_sequence_proba_batched
+
+        proba = predict_sequence_proba_batched(self.model, tokens, lengths)
+        if self.test_rules is None:
+            return [proba[i, : int(lengths[i])].argmax(axis=1) for i in range(len(lengths))]
+        pairwise = self.test_rules.pairwise_potential(self.C)
+        initial = self.test_rules.initial_potential(self.C)
+        out = []
+        for i in range(len(lengths)):
+            marginals = chain_marginals(proba[i, : int(lengths[i])], pairwise, initial)
+            out.append(marginals.argmax(axis=1))
+        return out
+
+    def inference_posteriors(self) -> list[np.ndarray]:
+        if self.inferred_posteriors_ is None:
+            raise RuntimeError("fit() has not been run")
+        return self.inferred_posteriors_

@@ -1,0 +1,36 @@
+"""Logic-LNCL: the paper's primary contribution.
+
+Public surface::
+
+    from repro.core import (
+        LogicLNCLClassifier, LogicLNCLSequenceTagger,
+        LogicLNCLConfig, sentiment_paper_config, ner_paper_config,
+        constant, exponential_ramp,
+    )
+"""
+
+from .config import LogicLNCLConfig, ner_paper_config, sentiment_paper_config
+from .em import (
+    posterior_qa,
+    sequence_posterior_qa,
+    sequence_update_confusions,
+    update_confusions,
+)
+from .logic_lncl import LogicLNCLClassifier
+from .schedules import ImitationSchedule, constant, exponential_ramp
+from .sequence_lncl import LogicLNCLSequenceTagger
+
+__all__ = [
+    "LogicLNCLClassifier",
+    "LogicLNCLSequenceTagger",
+    "LogicLNCLConfig",
+    "sentiment_paper_config",
+    "ner_paper_config",
+    "ImitationSchedule",
+    "constant",
+    "exponential_ramp",
+    "update_confusions",
+    "posterior_qa",
+    "sequence_update_confusions",
+    "sequence_posterior_qa",
+]

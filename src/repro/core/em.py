@@ -1,0 +1,105 @@
+"""Pseudo-E-step posterior math shared by the classification and sequence
+variants of Logic-LNCL (and by the AggNet/Raykar baselines, which are the
+rule-free special case).
+
+* :func:`update_confusions` — the Eq. 12 closed form: re-estimate every
+  annotator's confusion matrix from the current final posterior ``qf``.
+* :func:`posterior_qa` — the Eq. 13 Bayes update: combine the network's
+  prediction with annotator likelihoods.
+
+Sequence versions treat each (sentence, token) as an instance whose
+annotator set is the sentence's annotator set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crowd.types import CrowdLabelMatrix, SequenceCrowdLabels
+
+__all__ = [
+    "update_confusions",
+    "posterior_qa",
+    "sequence_update_confusions",
+    "sequence_posterior_qa",
+]
+
+
+def update_confusions(
+    qf: np.ndarray, crowd: CrowdLabelMatrix, smoothing: float = 0.01
+) -> np.ndarray:
+    """Eq. 12: ``π_jmn = Σ_i qf(t_i=m)·1[y_ij=n] / Σ_i qf(t_i=m)·1[y_ij≠∅]``.
+
+    Laplace ``smoothing`` keeps rows proper for annotators with few (or no)
+    labels for some true class.
+    """
+    qf = np.asarray(qf, dtype=np.float64)
+    if qf.shape != (crowd.num_instances, crowd.num_classes):
+        raise ValueError(
+            f"qf shape {qf.shape} != ({crowd.num_instances}, {crowd.num_classes})"
+        )
+    one_hot = crowd.one_hot()                                 # (I, J, K)
+    numerator = np.einsum("im,ijn->jmn", qf, one_hot) + smoothing
+    row_sums = numerator.sum(axis=2, keepdims=True)
+    # Rows with no mass (annotator never labeled anything attributed to
+    # class m, and smoothing == 0) fall back to uniform.
+    K = crowd.num_classes
+    return np.where(row_sums > 0, numerator / np.where(row_sums > 0, row_sums, 1.0), 1.0 / K)
+
+
+def posterior_qa(
+    proba: np.ndarray, crowd: CrowdLabelMatrix, confusions: np.ndarray
+) -> np.ndarray:
+    """Eq. 13: ``qa(t_i=k) ∝ p(t_i=k|x_i;Θ) · Π_{j∈J(i)} π_j[k, y_ij]``.
+
+    Computed in log space for stability; instances with no annotations
+    reduce to the network prediction.
+    """
+    proba = np.asarray(proba, dtype=np.float64)
+    I, K = proba.shape
+    if confusions.shape != (crowd.num_annotators, K, K):
+        raise ValueError(
+            f"confusions shape {confusions.shape} != ({crowd.num_annotators}, {K}, {K})"
+        )
+    one_hot = crowd.one_hot()
+    log_likelihood = np.einsum("ijn,jkn->ik", one_hot, np.log(confusions + 1e-300))
+    log_posterior = np.log(proba + 1e-300) + log_likelihood
+    log_posterior -= log_posterior.max(axis=1, keepdims=True)
+    posterior = np.exp(log_posterior)
+    posterior /= posterior.sum(axis=1, keepdims=True)
+    return posterior
+
+
+def sequence_update_confusions(
+    qf: list[np.ndarray], crowd: SequenceCrowdLabels, smoothing: float = 0.01
+) -> np.ndarray:
+    """Token-level Eq. 12 over all sentences."""
+    K = crowd.num_classes
+    counts = np.full((crowd.num_annotators, K, K), smoothing)
+    for i in range(crowd.num_instances):
+        gamma = np.asarray(qf[i])
+        if gamma.shape != (crowd.labels[i].shape[0], K):
+            raise ValueError(f"qf[{i}] shape {gamma.shape} mismatches sentence")
+        matrix = crowd.labels[i]
+        for j in crowd.annotators_of(i):
+            np.add.at(counts[j].T, matrix[:, j], gamma)
+    return counts / counts.sum(axis=2, keepdims=True)
+
+
+def sequence_posterior_qa(
+    proba: list[np.ndarray], crowd: SequenceCrowdLabels, confusions: np.ndarray
+) -> list[np.ndarray]:
+    """Token-level Eq. 13 for every sentence."""
+    log_confusions = np.log(confusions + 1e-300)
+    out: list[np.ndarray] = []
+    for i in range(crowd.num_instances):
+        p = np.asarray(proba[i], dtype=np.float64)
+        matrix = crowd.labels[i]
+        log_posterior = np.log(p + 1e-300)
+        for j in crowd.annotators_of(i):
+            log_posterior = log_posterior + log_confusions[j][:, matrix[:, j]].T
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        posterior = np.exp(log_posterior)
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        out.append(posterior)
+    return out

@@ -1,0 +1,51 @@
+"""Imitation-strength schedules k(t) (paper Table I).
+
+The pseudo-M-step mixes the two learning targets with
+``qf = (1-k)·qa + k·qb`` (Eq. 9); ``k`` may be constant or grow over
+epochs. The paper uses ``k(t) = min{1, 1 - 0.94^t}`` on sentiment and
+``min{0.8, 1 - 0.90^t}`` on NER — the rule influence ramps up as the
+classifier (whose predictions feed the rule groundings) becomes
+trustworthy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ImitationSchedule", "constant", "exponential_ramp"]
+
+
+class ImitationSchedule:
+    """Callable epoch → k mapping; epochs are 1-based."""
+
+    def __init__(self, fn, description: str) -> None:
+        self._fn = fn
+        self.description = description
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 1:
+            raise ValueError(f"epochs are 1-based, got {epoch}")
+        value = float(self._fn(epoch))
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"schedule produced k={value} outside [0, 1] at epoch {epoch}")
+        return value
+
+    def __repr__(self) -> str:
+        return f"ImitationSchedule({self.description})"
+
+
+def constant(k: float) -> ImitationSchedule:
+    """Fixed imitation strength."""
+    if not 0.0 <= k <= 1.0:
+        raise ValueError(f"k must be in [0, 1], got {k}")
+    return ImitationSchedule(lambda epoch: k, f"k={k}")
+
+
+def exponential_ramp(limit: float, base: float) -> ImitationSchedule:
+    """``k(t) = min(limit, 1 - base^t)`` — the paper's schedule family."""
+    if not 0.0 <= limit <= 1.0:
+        raise ValueError(f"limit must be in [0, 1], got {limit}")
+    if not 0.0 < base < 1.0:
+        raise ValueError(f"base must be in (0, 1), got {base}")
+    return ImitationSchedule(
+        lambda epoch: min(limit, 1.0 - base**epoch),
+        f"min({limit}, 1 - {base}^t)",
+    )

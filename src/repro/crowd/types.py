@@ -1,0 +1,220 @@
+"""Containers for crowd-annotated data.
+
+The paper's notation: dataset ``D = {x_i, y_i}`` where ``y_i`` is a vector of
+labels from ``J`` annotators and ``y_{ij} = 0`` marks "annotator j did not
+label instance i". Because our class ids are 0-based we use ``-1`` as the
+missing sentinel instead (``MISSING``); conversion helpers are provided.
+
+Two containers cover the paper's two tasks:
+
+* :class:`CrowdLabelMatrix` — instance-level categorical labels
+  (sentiment classification); a dense ``(I, J)`` integer matrix.
+* :class:`SequenceCrowdLabels` — token-level label sequences (NER); a list
+  of per-instance ``(T_i, J)`` matrices, since sentences have ragged
+  lengths. An annotator labels either a whole sentence or none of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MISSING", "CrowdLabelMatrix", "SequenceCrowdLabels"]
+
+MISSING = -1
+
+
+class CrowdLabelMatrix:
+    """Dense instance × annotator label matrix with a missing sentinel.
+
+    Parameters
+    ----------
+    labels:
+        ``(I, J)`` integer array; entries are class ids in ``[0, K)`` or
+        :data:`MISSING`.
+    num_classes:
+        Number of classes ``K``.
+    """
+
+    def __init__(self, labels: np.ndarray, num_classes: int) -> None:
+        labels = np.asarray(labels)
+        if labels.ndim != 2:
+            raise ValueError(f"labels must be (I, J), got shape {labels.shape}")
+        if not np.issubdtype(labels.dtype, np.integer):
+            raise TypeError(f"labels must be integers, got {labels.dtype}")
+        if num_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {num_classes}")
+        valid = (labels == MISSING) | ((labels >= 0) & (labels < num_classes))
+        if not valid.all():
+            bad = labels[~valid]
+            raise ValueError(f"labels out of range [0, {num_classes}): {np.unique(bad)}")
+        self.labels = labels.astype(np.int64)
+        self.num_classes = int(num_classes)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_instances(self) -> int:
+        return self.labels.shape[0]
+
+    @property
+    def num_annotators(self) -> int:
+        return self.labels.shape[1]
+
+    @property
+    def observed_mask(self) -> np.ndarray:
+        """Boolean ``(I, J)``: which cells carry a label."""
+        return self.labels != MISSING
+
+    def annotations_per_instance(self) -> np.ndarray:
+        """``num(J(i))`` of paper Eq. 5: labels per instance, shape ``(I,)``."""
+        return self.observed_mask.sum(axis=1)
+
+    def annotations_per_annotator(self) -> np.ndarray:
+        """Number of instances each annotator labeled, shape ``(J,)``."""
+        return self.observed_mask.sum(axis=0)
+
+    def total_annotations(self) -> int:
+        return int(self.observed_mask.sum())
+
+    def vote_counts(self) -> np.ndarray:
+        """Per-instance class vote counts, shape ``(I, K)``."""
+        counts = np.zeros((self.num_instances, self.num_classes), dtype=np.int64)
+        rows, cols = np.nonzero(self.observed_mask)
+        np.add.at(counts, (rows, self.labels[rows, cols]), 1)
+        return counts
+
+    def one_hot(self) -> np.ndarray:
+        """``(I, J, K)`` one-hot labels (zero rows where missing)."""
+        out = np.zeros((self.num_instances, self.num_annotators, self.num_classes))
+        rows, cols = np.nonzero(self.observed_mask)
+        out[rows, cols, self.labels[rows, cols]] = 1.0
+        return out
+
+    def subset(self, indices: np.ndarray) -> "CrowdLabelMatrix":
+        """Restrict to a subset of instances (annotator axis unchanged)."""
+        return CrowdLabelMatrix(self.labels[np.asarray(indices)], self.num_classes)
+
+    def annotator_confusion(self, truth: np.ndarray, annotator: int) -> np.ndarray:
+        """Empirical row-normalized confusion matrix of one annotator.
+
+        These are the "Real" matrices of paper Fig. 6/7(a): row m = true
+        class, column n = annotator's label, conditioned on having labeled.
+        Rows with no observations fall back to uniform.
+        """
+        truth = np.asarray(truth)
+        if truth.shape != (self.num_instances,):
+            raise ValueError(f"truth must be ({self.num_instances},), got {truth.shape}")
+        K = self.num_classes
+        counts = np.zeros((K, K))
+        observed = self.observed_mask[:, annotator]
+        for m in range(K):
+            mask = observed & (truth == m)
+            given = self.labels[mask, annotator]
+            np.add.at(counts[m], given, 1.0)
+        row_sums = counts.sum(axis=1, keepdims=True)
+        uniform = np.full((K, K), 1.0 / K)
+        return np.where(row_sums > 0, counts / np.where(row_sums > 0, row_sums, 1), uniform)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_paper_convention(labels_1based: np.ndarray, num_classes: int) -> "CrowdLabelMatrix":
+        """Convert the paper's 1-based labels (0 = missing) to this container."""
+        labels_1based = np.asarray(labels_1based)
+        converted = np.where(labels_1based == 0, MISSING, labels_1based - 1)
+        return CrowdLabelMatrix(converted.astype(np.int64), num_classes)
+
+    def to_paper_convention(self) -> np.ndarray:
+        """Export as the paper's 1-based convention (0 = missing)."""
+        return np.where(self.labels == MISSING, 0, self.labels + 1)
+
+
+@dataclass
+class SequenceCrowdLabels:
+    """Token-level crowd labels for ragged sentences.
+
+    Attributes
+    ----------
+    labels:
+        List (length I) of ``(T_i, J)`` integer arrays; a column is either
+        all :data:`MISSING` (annotator skipped the sentence) or fully
+        labeled.
+    num_classes:
+        Number of tag classes ``K``.
+    num_annotators:
+        Number of annotators ``J``.
+    """
+
+    labels: list[np.ndarray]
+    num_classes: int
+    num_annotators: int
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {self.num_classes}")
+        for i, matrix in enumerate(self.labels):
+            matrix = np.asarray(matrix)
+            if matrix.ndim != 2 or matrix.shape[1] != self.num_annotators:
+                raise ValueError(
+                    f"instance {i}: expected (T_i, {self.num_annotators}), got {matrix.shape}"
+                )
+            valid = (matrix == MISSING) | ((matrix >= 0) & (matrix < self.num_classes))
+            if not valid.all():
+                raise ValueError(f"instance {i}: labels out of range")
+            # Columns must be fully labeled or fully missing.
+            col_missing = (matrix == MISSING).sum(axis=0)
+            partial = (col_missing > 0) & (col_missing < matrix.shape[0])
+            if partial.any():
+                raise ValueError(
+                    f"instance {i}: annotators {np.nonzero(partial)[0]} labeled "
+                    "only part of the sentence"
+                )
+            self.labels[i] = matrix.astype(np.int64)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.labels)
+
+    def annotators_of(self, instance: int) -> np.ndarray:
+        """Indices of annotators who labeled this sentence."""
+        matrix = self.labels[instance]
+        return np.nonzero((matrix != MISSING).all(axis=0))[0]
+
+    def annotations_per_instance(self) -> np.ndarray:
+        """Annotators per sentence, shape ``(I,)``."""
+        return np.array([len(self.annotators_of(i)) for i in range(self.num_instances)])
+
+    def annotations_per_annotator(self) -> np.ndarray:
+        """Sentences labeled by each annotator, shape ``(J,)``."""
+        counts = np.zeros(self.num_annotators, dtype=np.int64)
+        for i in range(self.num_instances):
+            counts[self.annotators_of(i)] += 1
+        return counts
+
+    def token_vote_counts(self, instance: int) -> np.ndarray:
+        """Per-token class vote counts for one sentence, shape ``(T_i, K)``."""
+        matrix = self.labels[instance]
+        T = matrix.shape[0]
+        counts = np.zeros((T, self.num_classes), dtype=np.int64)
+        for j in self.annotators_of(instance):
+            np.add.at(counts, (np.arange(T), matrix[:, j]), 1)
+        return counts
+
+    def subset(self, indices: np.ndarray) -> "SequenceCrowdLabels":
+        """Restrict to a subset of sentences."""
+        picked = [self.labels[int(i)] for i in np.asarray(indices)]
+        return SequenceCrowdLabels(picked, self.num_classes, self.num_annotators)
+
+    def annotator_confusion(self, truth: list[np.ndarray], annotator: int) -> np.ndarray:
+        """Token-level confusion matrix of one annotator vs ground truth."""
+        K = self.num_classes
+        counts = np.zeros((K, K))
+        for i in range(self.num_instances):
+            if annotator not in set(self.annotators_of(i).tolist()):
+                continue
+            given = self.labels[i][:, annotator]
+            true = np.asarray(truth[i])
+            np.add.at(counts, (true, given), 1.0)
+        row_sums = counts.sum(axis=1, keepdims=True)
+        uniform = np.full((K, K), 1.0 / K)
+        return np.where(row_sums > 0, counts / np.where(row_sums > 0, row_sums, 1), uniform)

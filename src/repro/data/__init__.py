@@ -1,0 +1,45 @@
+"""Data substrate: vocabularies, synthetic corpora, embeddings, batching."""
+
+from .bio import CONLL_LABELS, bio_from_spans, label_index, spans_from_bio
+from .datasets import SequenceTaggingDataset, TextClassificationDataset, pad_sequences
+from .embeddings import PrototypeEmbeddings
+from .io import (
+    read_conll,
+    read_crowd_conll,
+    read_crowd_csv,
+    read_sentiment_tsv,
+    write_conll,
+    write_crowd_csv,
+)
+from .loaders import batch_indices
+from .ner import ENTITY_TYPES, NERCorpusConfig, NERTask, make_ner_task
+from .sentiment import SentimentCorpusConfig, SentimentTask, make_sentiment_task
+from .vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "CONLL_LABELS",
+    "label_index",
+    "spans_from_bio",
+    "bio_from_spans",
+    "TextClassificationDataset",
+    "SequenceTaggingDataset",
+    "pad_sequences",
+    "PrototypeEmbeddings",
+    "batch_indices",
+    "SentimentCorpusConfig",
+    "SentimentTask",
+    "make_sentiment_task",
+    "NERCorpusConfig",
+    "NERTask",
+    "make_ner_task",
+    "ENTITY_TYPES",
+    "read_conll",
+    "write_conll",
+    "read_crowd_conll",
+    "read_sentiment_tsv",
+    "read_crowd_csv",
+    "write_crowd_csv",
+]

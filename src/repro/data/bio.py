@@ -1,0 +1,86 @@
+"""BIO tagging-scheme utilities shared by the NER data pipeline.
+
+The CoNLL-2003 setting uses 9 classes: ``O`` plus begin/inside tags for
+four entity types (PER, LOC, ORG, MISC). Spans are ``(entity_type, start,
+end)`` with ``end`` exclusive. Extraction follows the strict reading used
+by the paper's evaluation: a span starts at ``B-X`` and extends through
+consecutive ``I-X``; an ``I-X`` without a compatible predecessor starts a
+new (malformed-origin) span — the conventional CoNLL repair, which keeps
+extraction total on noisy crowd annotations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CONLL_LABELS", "label_index", "spans_from_bio", "bio_from_spans"]
+
+# The 9 CoNLL-2003 classes, "Others" first (paper §VI-A1).
+CONLL_LABELS = [
+    "O",
+    "B-PER",
+    "I-PER",
+    "B-LOC",
+    "I-LOC",
+    "B-ORG",
+    "I-ORG",
+    "B-MISC",
+    "I-MISC",
+]
+
+
+def label_index(labels: list[str]) -> dict[str, int]:
+    """Name → id mapping for a label vocabulary."""
+    return {name: i for i, name in enumerate(labels)}
+
+
+def spans_from_bio(tags: np.ndarray, labels: list[str] = CONLL_LABELS) -> list[tuple[str, int, int]]:
+    """Extract entity spans ``(type, start, end_exclusive)`` from tag ids.
+
+    Handles malformed sequences (bare ``I-X``, ``I-X`` after a different
+    entity) by starting a new span, matching common conlleval behaviour.
+    """
+    tags = np.asarray(tags)
+    spans: list[tuple[str, int, int]] = []
+    current_type: str | None = None
+    start = 0
+    for position, tag_id in enumerate(tags):
+        name = labels[int(tag_id)]
+        if name == "O":
+            if current_type is not None:
+                spans.append((current_type, start, position))
+                current_type = None
+            continue
+        prefix, entity = name.split("-", 1)
+        if prefix == "B" or current_type != entity:
+            if current_type is not None:
+                spans.append((current_type, start, position))
+            current_type = entity
+            start = position
+    if current_type is not None:
+        spans.append((current_type, start, len(tags)))
+    return spans
+
+
+def bio_from_spans(
+    spans: list[tuple[str, int, int]],
+    length: int,
+    labels: list[str] = CONLL_LABELS,
+) -> np.ndarray:
+    """Render spans back into a BIO tag-id sequence of ``length`` tokens.
+
+    Overlapping spans are applied in order; later spans overwrite earlier
+    ones (the simulator relies on this to model sloppy boundary edits).
+    """
+    index = label_index(labels)
+    tags = np.full(length, index["O"], dtype=np.int64)
+    for entity, start, end in spans:
+        if start < 0 or end > length or start >= end:
+            raise ValueError(f"invalid span ({entity}, {start}, {end}) for length {length}")
+        begin_id = index.get(f"B-{entity}")
+        inside_id = index.get(f"I-{entity}")
+        if begin_id is None or inside_id is None:
+            raise KeyError(f"unknown entity type {entity!r}")
+        tags[start] = begin_id
+        tags[start + 1 : end] = inside_id
+    return tags

@@ -1,0 +1,98 @@
+"""Synthetic "pre-trained" word embeddings (substitution S3 in DESIGN.md).
+
+The paper feeds its networks 300-d word2vec/GloVe vectors, which matter only
+as *label-correlated input features*: sentiment-bearing words cluster by
+polarity, entity names cluster by type. Offline we reproduce that structure
+directly: every vocabulary word is assigned a latent semantic role, each
+role has a Gaussian prototype vector, and a word's embedding is its role
+prototype (or a mixture, for ambiguous words) plus isotropic noise. The
+noise-to-separation ratio controls task difficulty and is calibrated so the
+Gold classifier lands in a realistic accuracy band rather than at 100%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PrototypeEmbeddings"]
+
+
+class PrototypeEmbeddings:
+    """Factory for role-structured embedding matrices.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (paper: 300; scaled down in benches).
+    noise_scale:
+        Std of the per-word noise added to the role prototype, in units of
+        the prototype norm (≈1). Around 0.8–1.2 yields realistically
+        imperfect classifiers.
+    rng:
+        Generator for prototypes and noise.
+    """
+
+    def __init__(self, dim: int, noise_scale: float, rng: np.random.Generator) -> None:
+        if dim < 2:
+            raise ValueError(f"embedding dim must be >= 2, got {dim}")
+        if noise_scale < 0:
+            raise ValueError(f"noise scale must be non-negative, got {noise_scale}")
+        self.dim = dim
+        self.noise_scale = noise_scale
+        self._rng = rng
+        self._prototypes: dict[str, np.ndarray] = {}
+
+    def prototype(self, role: str) -> np.ndarray:
+        """Unit-norm prototype vector of a semantic role (created lazily)."""
+        existing = self._prototypes.get(role)
+        if existing is not None:
+            return existing
+        vector = self._rng.normal(size=self.dim)
+        vector /= np.linalg.norm(vector)
+        self._prototypes[role] = vector
+        return vector
+
+    def opposed_prototypes(self, role_a: str, role_b: str, anticorrelation: float = 0.6) -> None:
+        """Create two partially anti-correlated prototypes (e.g. pos/neg).
+
+        ``b = -anticorrelation · a + sqrt(1 - anticorrelation²) · orthogonal``,
+        mimicking the antonym geometry of real embedding spaces.
+        """
+        if not 0.0 <= anticorrelation <= 1.0:
+            raise ValueError(f"anticorrelation must be in [0, 1], got {anticorrelation}")
+        a = self.prototype(role_a)
+        raw = self._rng.normal(size=self.dim)
+        orthogonal = raw - (raw @ a) * a
+        orthogonal /= np.linalg.norm(orthogonal)
+        b = -anticorrelation * a + np.sqrt(1.0 - anticorrelation**2) * orthogonal
+        self._prototypes[role_b] = b / np.linalg.norm(b)
+
+    def vector(self, roles: str | list[str]) -> np.ndarray:
+        """Embedding of one word: mean of its role prototypes plus noise.
+
+        A single role gives a clean cluster member; multiple roles model
+        ambiguous words (a token that is both a person and a location name).
+        """
+        role_list = [roles] if isinstance(roles, str) else list(roles)
+        if not role_list:
+            raise ValueError("need at least one role")
+        base = np.mean([self.prototype(role) for role in role_list], axis=0)
+        return base + self._rng.normal(scale=self.noise_scale, size=self.dim)
+
+    def build_matrix(self, word_roles: list[str | list[str] | None]) -> np.ndarray:
+        """Embeddings for a whole vocabulary.
+
+        ``word_roles[i]`` is the role (or roles) of vocabulary id ``i``;
+        ``None`` yields a pure-noise vector (PAD gets zeros at id 0 by
+        convention — pass roles starting from id 0 and the first row is
+        zeroed).
+        """
+        matrix = np.zeros((len(word_roles), self.dim))
+        for i, roles in enumerate(word_roles):
+            if i == 0:
+                continue  # PAD stays zero
+            if roles is None:
+                matrix[i] = self._rng.normal(scale=self.noise_scale, size=self.dim)
+            else:
+                matrix[i] = self.vector(roles)
+        return matrix

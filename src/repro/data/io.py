@@ -1,0 +1,220 @@
+"""File I/O for the real datasets the paper evaluates on.
+
+The offline benches run on simulated data, but a downstream user with the
+actual Sentiment Polarity (MTurk) / CoNLL-2003 NER (MTurk) releases (see
+the paper's footnote: https://github.com/junchenzhi/Logic-LNCL) can load
+them with these readers and run every method in this library unchanged.
+
+Formats:
+
+* **CoNLL** — one token per line, blank line between sentences. Column 0
+  is the token, the last column the gold BIO tag; :func:`read_conll`.
+* **Crowd CoNLL** — like CoNLL but with one tag column per annotator and
+  ``?`` marking "did not annotate this sentence";
+  :func:`read_crowd_conll`.
+* **Sentiment TSV** — ``text<TAB>label`` per line; :func:`read_sentiment_tsv`.
+* **Crowd label CSV** — one row per instance, one integer column per
+  annotator, ``-1`` for missing; :func:`read_crowd_csv`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
+from .bio import CONLL_LABELS, label_index
+from .datasets import SequenceTaggingDataset, TextClassificationDataset, pad_sequences
+from .vocab import Vocabulary
+
+__all__ = [
+    "read_conll",
+    "write_conll",
+    "read_crowd_conll",
+    "read_sentiment_tsv",
+    "read_crowd_csv",
+    "write_crowd_csv",
+]
+
+
+def _sentence_blocks(text: str) -> list[list[list[str]]]:
+    """Split file text into sentences of whitespace-separated columns."""
+    sentences: list[list[list[str]]] = []
+    current: list[list[str]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            if current:
+                sentences.append(current)
+                current = []
+            continue
+        current.append(line.split())
+    if current:
+        sentences.append(current)
+    return sentences
+
+
+def read_conll(
+    path: str | Path,
+    vocab: Vocabulary | None = None,
+    label_names: list[str] = CONLL_LABELS,
+    grow_vocab: bool = True,
+) -> SequenceTaggingDataset:
+    """Read a gold-tagged CoNLL file into a :class:`SequenceTaggingDataset`.
+
+    Parameters
+    ----------
+    vocab:
+        Existing vocabulary to encode against (e.g. the training split's);
+        a fresh one is created when omitted.
+    grow_vocab:
+        Add unseen tokens to the vocabulary (True for the training split,
+        False for dev/test so they map to UNK).
+    """
+    text = Path(path).read_text()
+    vocab = vocab if vocab is not None else Vocabulary()
+    index = label_index(label_names)
+    token_seqs: list[np.ndarray] = []
+    tag_seqs: list[np.ndarray] = []
+    for sentence_number, sentence in enumerate(_sentence_blocks(text)):
+        tokens = []
+        tags = []
+        for columns in sentence:
+            if len(columns) < 2:
+                raise ValueError(
+                    f"sentence {sentence_number}: line {columns!r} needs token and tag"
+                )
+            word, tag = columns[0], columns[-1]
+            if tag not in index:
+                raise ValueError(f"unknown tag {tag!r} in sentence {sentence_number}")
+            tokens.append(vocab.add(word) if grow_vocab else vocab.id_of(word))
+            tags.append(index[tag])
+        token_seqs.append(np.array(tokens, dtype=np.int64))
+        tag_seqs.append(np.array(tags, dtype=np.int64))
+    if not token_seqs:
+        raise ValueError(f"no sentences found in {path}")
+    tokens_padded, lengths = pad_sequences(token_seqs, pad_id=vocab.pad_id)
+    return SequenceTaggingDataset(
+        tokens=tokens_padded,
+        lengths=lengths,
+        tags=tag_seqs,
+        vocab=vocab,
+        label_names=list(label_names),
+    )
+
+
+def write_conll(dataset: SequenceTaggingDataset, path: str | Path) -> None:
+    """Write a dataset back to CoNLL format (token TAB tag)."""
+    lines: list[str] = []
+    for i in range(len(dataset)):
+        length = int(dataset.lengths[i])
+        for position in range(length):
+            word = dataset.vocab.token_of(int(dataset.tokens[i, position]))
+            tag = dataset.label_names[int(dataset.tags[i][position])]
+            lines.append(f"{word}\t{tag}")
+        lines.append("")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_crowd_conll(
+    path: str | Path,
+    label_names: list[str] = CONLL_LABELS,
+    missing_marker: str = "?",
+) -> SequenceCrowdLabels:
+    """Read per-annotator tag columns into :class:`SequenceCrowdLabels`.
+
+    Each non-blank line: ``token tag_1 ... tag_J``; ``?`` marks an
+    annotator who skipped the sentence (must then be ``?`` on every token
+    of that sentence).
+    """
+    text = Path(path).read_text()
+    index = label_index(label_names)
+    sentences = _sentence_blocks(text)
+    if not sentences:
+        raise ValueError(f"no sentences found in {path}")
+    num_annotators = len(sentences[0][0]) - 1
+    if num_annotators < 1:
+        raise ValueError("crowd CoNLL needs at least one annotator column")
+    matrices: list[np.ndarray] = []
+    for sentence_number, sentence in enumerate(sentences):
+        matrix = np.full((len(sentence), num_annotators), MISSING, dtype=np.int64)
+        for row, columns in enumerate(sentence):
+            if len(columns) - 1 != num_annotators:
+                raise ValueError(
+                    f"sentence {sentence_number}: expected {num_annotators} annotator "
+                    f"columns, got {len(columns) - 1}"
+                )
+            for j, tag in enumerate(columns[1:]):
+                if tag == missing_marker:
+                    continue
+                if tag not in index:
+                    raise ValueError(
+                        f"unknown tag {tag!r} in sentence {sentence_number}"
+                    )
+                matrix[row, j] = index[tag]
+        matrices.append(matrix)
+    return SequenceCrowdLabels(matrices, num_classes=len(label_names), num_annotators=num_annotators)
+
+
+def read_sentiment_tsv(
+    path: str | Path,
+    vocab: Vocabulary | None = None,
+    num_classes: int = 2,
+    grow_vocab: bool = True,
+) -> TextClassificationDataset:
+    """Read ``text<TAB>label`` lines into a :class:`TextClassificationDataset`."""
+    vocab = vocab if vocab is not None else Vocabulary()
+    token_seqs: list[np.ndarray] = []
+    labels: list[int] = []
+    for line_number, raw_line in enumerate(Path(path).read_text().splitlines()):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if "\t" not in line:
+            raise ValueError(f"line {line_number}: expected 'text<TAB>label'")
+        text, label_text = line.rsplit("\t", 1)
+        label = int(label_text)
+        if not 0 <= label < num_classes:
+            raise ValueError(f"line {line_number}: label {label} out of range")
+        words = text.split()
+        if not words:
+            raise ValueError(f"line {line_number}: empty text")
+        ids = [vocab.add(w) if grow_vocab else vocab.id_of(w) for w in words]
+        token_seqs.append(np.array(ids, dtype=np.int64))
+        labels.append(label)
+    if not token_seqs:
+        raise ValueError(f"no instances found in {path}")
+    tokens_padded, lengths = pad_sequences(token_seqs, pad_id=vocab.pad_id)
+    return TextClassificationDataset(
+        tokens=tokens_padded,
+        lengths=lengths,
+        labels=np.array(labels, dtype=np.int64),
+        vocab=vocab,
+        num_classes=num_classes,
+    )
+
+
+def read_crowd_csv(path: str | Path, num_classes: int, delimiter: str = ",") -> CrowdLabelMatrix:
+    """Read an instance × annotator integer matrix (``-1`` = missing)."""
+    rows: list[list[int]] = []
+    for line_number, raw_line in enumerate(Path(path).read_text().splitlines()):
+        line = raw_line.strip()
+        if not line:
+            continue
+        try:
+            rows.append([int(cell) for cell in line.split(delimiter)])
+        except ValueError as exc:
+            raise ValueError(f"line {line_number}: non-integer cell") from exc
+    if not rows:
+        raise ValueError(f"no rows found in {path}")
+    widths = {len(row) for row in rows}
+    if len(widths) != 1:
+        raise ValueError(f"ragged rows: widths {sorted(widths)}")
+    return CrowdLabelMatrix(np.array(rows, dtype=np.int64), num_classes)
+
+
+def write_crowd_csv(crowd: CrowdLabelMatrix, path: str | Path, delimiter: str = ",") -> None:
+    """Write a crowd matrix in the :func:`read_crowd_csv` format."""
+    lines = [delimiter.join(str(int(v)) for v in row) for row in crowd.labels]
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,46 @@
+"""Mini-batch iteration helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["batch_indices"]
+
+
+def batch_indices(
+    n: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in mini-batches.
+
+    Parameters
+    ----------
+    n:
+        Dataset size.
+    batch_size:
+        Paper Table I: 50 (sentiment) / 64 (NER).
+    rng:
+        Required when ``shuffle`` is true, so epoch order is reproducible.
+    drop_last:
+        Skip a trailing partial batch.
+    """
+    if n <= 0:
+        raise ValueError(f"dataset size must be positive, got {n}")
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffling requires an rng")
+        order = rng.permutation(n)
+    else:
+        order = np.arange(n)
+    for start in range(0, n, batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and len(batch) < batch_size:
+            return
+        yield batch

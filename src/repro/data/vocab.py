@@ -1,0 +1,69 @@
+"""Vocabulary: token ↔ id mapping with PAD/UNK specials."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Vocabulary", "PAD_TOKEN", "UNK_TOKEN"]
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Bidirectional token/id mapping.
+
+    Ids 0 and 1 are reserved for padding and unknown tokens; all lookups of
+    unseen tokens resolve to UNK.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: dict[str, int] = {PAD_TOKEN: 0, UNK_TOKEN: 1}
+        self._id_to_token: list[str] = [PAD_TOKEN, UNK_TOKEN]
+        for token in tokens:
+            self.add(token)
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def add(self, token: str) -> int:
+        """Register a token (idempotent); returns its id."""
+        if not token:
+            raise ValueError("cannot add an empty token")
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token``; UNK for unseen tokens."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._id_to_token):
+            raise IndexError(f"token id {token_id} out of range")
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> np.ndarray:
+        """Encode a token sequence to an id array."""
+        return np.array([self.id_of(token) for token in tokens], dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Decode an id sequence back to tokens."""
+        return [self.token_of(int(i)) for i in ids]

@@ -1,0 +1,27 @@
+"""Evaluation metrics: accuracy, strict span F1, statistics, reliability."""
+
+from .classification import accuracy, per_class_accuracy, posterior_accuracy
+from .ner_f1 import PRF1, span_f1_score, token_accuracy
+from .reliability import (
+    ReliabilityComparison,
+    compare_reliability,
+    confusion_mae,
+    overall_reliability,
+)
+from .statistics import TTestResult, one_sided_t_test, pearson_correlation
+
+__all__ = [
+    "accuracy",
+    "posterior_accuracy",
+    "per_class_accuracy",
+    "PRF1",
+    "span_f1_score",
+    "token_accuracy",
+    "TTestResult",
+    "one_sided_t_test",
+    "pearson_correlation",
+    "overall_reliability",
+    "confusion_mae",
+    "ReliabilityComparison",
+    "compare_reliability",
+]

@@ -1,0 +1,43 @@
+"""Classification metrics: accuracy of hard labels and of soft posteriors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "posterior_accuracy", "per_class_accuracy"]
+
+
+def accuracy(truth: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    truth = np.asarray(truth)
+    predictions = np.asarray(predictions)
+    if truth.shape != predictions.shape:
+        raise ValueError(f"shape mismatch: {truth.shape} vs {predictions.shape}")
+    if truth.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    return float((truth == predictions).mean())
+
+
+def posterior_accuracy(truth: np.ndarray, posterior: np.ndarray) -> float:
+    """Accuracy of the argmax of a ``(I, K)`` posterior.
+
+    This is how the paper scores *inference* quality on the training set
+    (the Inference column of Tables II/III): the posterior is the method's
+    truth estimate — ``qf(t)`` for Logic-LNCL, MV/GLAD outputs, etc.
+    """
+    posterior = np.asarray(posterior)
+    if posterior.ndim != 2:
+        raise ValueError(f"posterior must be (I, K), got shape {posterior.shape}")
+    return accuracy(truth, posterior.argmax(axis=1))
+
+
+def per_class_accuracy(truth: np.ndarray, predictions: np.ndarray, num_classes: int) -> np.ndarray:
+    """Recall of each class, shape ``(K,)``; NaN for absent classes."""
+    truth = np.asarray(truth)
+    predictions = np.asarray(predictions)
+    out = np.full(num_classes, np.nan)
+    for k in range(num_classes):
+        mask = truth == k
+        if mask.any():
+            out[k] = float((predictions[mask] == k).mean())
+    return out

@@ -1,0 +1,82 @@
+"""Strict span-level NER evaluation (precision / recall / F1).
+
+The paper follows prior work in using the *strict* criterion: a predicted
+entity counts as correct only when its type, start, and end all match a
+gold entity exactly (§VI-A4). Scores are micro-averaged over the corpus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..data.bio import CONLL_LABELS, spans_from_bio
+
+__all__ = ["PRF1", "span_f1_score", "token_accuracy"]
+
+
+@dataclass
+class PRF1:
+    """Micro-averaged precision/recall/F1 with raw counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @staticmethod
+    def from_counts(tp: int, fp: int, fn: int) -> "PRF1":
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        return PRF1(precision, recall, f1, tp, fp, fn)
+
+
+def span_f1_score(
+    truth: Sequence[np.ndarray],
+    predictions: Sequence[np.ndarray],
+    labels: list[str] = CONLL_LABELS,
+) -> PRF1:
+    """Strict span-level F1 between gold and predicted tag sequences.
+
+    Parameters
+    ----------
+    truth, predictions:
+        Parallel lists of per-sentence tag-id arrays (equal lengths).
+    """
+    if len(truth) != len(predictions):
+        raise ValueError(f"{len(truth)} gold vs {len(predictions)} predicted sentences")
+    tp = fp = fn = 0
+    for gold_tags, pred_tags in zip(truth, predictions):
+        gold_tags = np.asarray(gold_tags)
+        pred_tags = np.asarray(pred_tags)
+        if gold_tags.shape != pred_tags.shape:
+            raise ValueError(
+                f"sentence length mismatch: {gold_tags.shape} vs {pred_tags.shape}"
+            )
+        gold_spans = Counter(spans_from_bio(gold_tags, labels))
+        pred_spans = Counter(spans_from_bio(pred_tags, labels))
+        overlap = gold_spans & pred_spans
+        matched = sum(overlap.values())
+        tp += matched
+        fp += sum(pred_spans.values()) - matched
+        fn += sum(gold_spans.values()) - matched
+    return PRF1.from_counts(tp, fp, fn)
+
+
+def token_accuracy(truth: Sequence[np.ndarray], predictions: Sequence[np.ndarray]) -> float:
+    """Plain per-token accuracy (diagnostic; the paper reports span F1)."""
+    correct = total = 0
+    for gold_tags, pred_tags in zip(truth, predictions):
+        gold_tags = np.asarray(gold_tags)
+        pred_tags = np.asarray(pred_tags)
+        if gold_tags.shape != pred_tags.shape:
+            raise ValueError("sentence length mismatch")
+        correct += int((gold_tags == pred_tags).sum())
+        total += gold_tags.size
+    return correct / total if total else 0.0

@@ -1,0 +1,77 @@
+"""Experiment suites regenerating every table and figure of the paper.
+
+One module per artifact family (see DESIGN.md §3 experiment index):
+
+* :mod:`sentiment_suite` — Table II methods and data assembly;
+* :mod:`ner_suite` — Table III;
+* :mod:`ablation_suite` — Table IV;
+* :mod:`reliability_suite` — Fig. 6 / Fig. 7;
+* :mod:`sample_efficiency` — the §VI-B sample-efficiency experiment;
+* :mod:`reporting` — table rendering with paper-vs-measured columns.
+
+The ``benchmarks/`` directory contains the pytest-benchmark entry points
+that drive these suites and print the paper-format tables.
+"""
+
+from .ablation_suite import (
+    ABLATION_METHODS,
+    PAPER_TABLE4,
+    run_ner_ablation,
+    run_sentiment_ablation,
+)
+from .ner_suite import (
+    NER_INFERENCE_METHODS,
+    NER_METHODS,
+    PAPER_TABLE3,
+    NERBenchConfig,
+    build_ner_data,
+    run_ner_inference_method,
+    run_ner_method,
+)
+from .reliability_suite import ReliabilityResult, run_fig6_sentiment, run_fig7_ner
+from .reporting import Row, Table, aggregate_runs, bench_scale
+from .sample_efficiency import (
+    SampleEfficiencyResult,
+    run_ner_sample_efficiency,
+    run_sentiment_sample_efficiency,
+)
+from .sentiment_suite import (
+    PAPER_TABLE2,
+    SENTIMENT_INFERENCE_METHODS,
+    SENTIMENT_METHODS,
+    SentimentBenchConfig,
+    build_sentiment_data,
+    run_sentiment_method,
+)
+from .sentiment_suite import run_sentiment_inference_method
+
+__all__ = [
+    "Row",
+    "Table",
+    "aggregate_runs",
+    "bench_scale",
+    "SentimentBenchConfig",
+    "build_sentiment_data",
+    "run_sentiment_method",
+    "run_sentiment_inference_method",
+    "SENTIMENT_METHODS",
+    "SENTIMENT_INFERENCE_METHODS",
+    "PAPER_TABLE2",
+    "NERBenchConfig",
+    "build_ner_data",
+    "run_ner_method",
+    "run_ner_inference_method",
+    "NER_METHODS",
+    "NER_INFERENCE_METHODS",
+    "PAPER_TABLE3",
+    "ABLATION_METHODS",
+    "PAPER_TABLE4",
+    "run_sentiment_ablation",
+    "run_ner_ablation",
+    "ReliabilityResult",
+    "run_fig6_sentiment",
+    "run_fig7_ner",
+    "SampleEfficiencyResult",
+    "run_sentiment_sample_efficiency",
+    "run_ner_sample_efficiency",
+]

@@ -1,0 +1,115 @@
+"""Table formatting for the benchmark harness.
+
+Every bench regenerates one paper artifact and prints rows in the paper's
+layout next to the paper's reported numbers, so "shape" agreement (who
+wins, by roughly what factor) is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Row", "Table", "bench_scale", "aggregate_runs"]
+
+
+def bench_scale() -> float:
+    """Global scale multiplier for bench workloads.
+
+    ``REPRO_BENCH_SCALE`` (default 1.0) multiplies corpus sizes and seed
+    counts; set 2-4 on a fast machine for tighter estimates.
+    """
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError as exc:
+        raise ValueError("REPRO_BENCH_SCALE must be a number") from exc
+    if scale <= 0:
+        raise ValueError("REPRO_BENCH_SCALE must be positive")
+    return scale
+
+
+@dataclass
+class Row:
+    """One method's row: measured mean±std per metric plus paper reference."""
+
+    method: str
+    measured: dict[str, float]
+    std: dict[str, float] = field(default_factory=dict)
+    paper: dict[str, float] = field(default_factory=dict)
+
+    def cell(self, metric: str) -> str:
+        value = self.measured.get(metric)
+        if value is None:
+            return "   -  "
+        spread = self.std.get(metric)
+        if spread is None:
+            return f"{100 * value:6.2f}"
+        return f"{100 * value:6.2f}±{100 * spread:4.2f}"
+
+    def paper_cell(self, metric: str) -> str:
+        value = self.paper.get(metric)
+        return "   -  " if value is None else f"{value:6.2f}"
+
+
+@dataclass
+class Table:
+    """A paper table/figure reproduction: title, metric columns, rows."""
+
+    title: str
+    metrics: list[str]
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, row: Row) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        width = max([len(r.method) for r in self.rows] + [18])
+        header_cells = []
+        for metric in self.metrics:
+            header_cells.append(f"{metric + ' (ours)':>14}")
+            header_cells.append(f"{metric + ' (paper)':>16}")
+        lines = [
+            "=" * 100,
+            self.title,
+            "=" * 100,
+            f"{'method':<{width}}" + "".join(header_cells),
+            "-" * 100,
+        ]
+        for row in self.rows:
+            cells = []
+            for metric in self.metrics:
+                cells.append(f"{row.cell(metric):>14}")
+                cells.append(f"{row.paper_cell(metric):>16}")
+            lines.append(f"{row.method:<{width}}" + "".join(cells))
+        if self.notes:
+            lines.append("-" * 100)
+            lines.extend(f"note: {note}" for note in self.notes)
+        lines.append("=" * 100)
+        return "\n".join(lines)
+
+    def row(self, method: str) -> Row:
+        for row in self.rows:
+            if row.method == method:
+                return row
+        raise KeyError(f"no row named {method!r}")
+
+    def measured(self, method: str, metric: str) -> float:
+        value = self.row(method).measured.get(metric)
+        if value is None:
+            raise KeyError(f"{method!r} has no measured {metric!r}")
+        return value
+
+
+def aggregate_runs(runs: list[dict[str, float]]) -> tuple[dict[str, float], dict[str, float]]:
+    """Mean and std per metric over seeded runs (skips missing metrics)."""
+    keys = {key for run in runs for key in run}
+    mean: dict[str, float] = {}
+    std: dict[str, float] = {}
+    for key in keys:
+        values = [run[key] for run in runs if key in run]
+        mean[key] = float(np.mean(values))
+        std[key] = float(np.std(values))
+    return mean, std

@@ -1,0 +1,89 @@
+"""§VI-B "Advantage of sample-efficiency" reproduction.
+
+The paper shows Logic-LNCL matches (slightly exceeds) the best competitor's
+full-data generalization with strictly fewer training samples — e.g.
+4,300/3,300 of the 4,999 sentiment samples for the student/teacher. This
+suite sweeps training-set fractions and records, per method, test accuracy
+(or F1) at each fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ner_suite import NERBenchConfig, build_ner_data, run_ner_method
+from .sentiment_suite import SentimentBenchConfig, build_sentiment_data, run_sentiment_method
+
+__all__ = ["SampleEfficiencyResult", "run_sentiment_sample_efficiency", "run_ner_sample_efficiency"]
+
+
+@dataclass
+class SampleEfficiencyResult:
+    """Per-method score curves over training-set fractions."""
+
+    fractions: list[float]
+    scores: dict[str, list[float]]          # method → score per fraction
+    full_data_reference: dict[str, float]   # method → full-data score
+
+    def samples_to_match(self, method: str, reference_method: str, total: int) -> int | None:
+        """Smallest sample count where ``method`` ≥ the reference's
+        full-data score (None when never matched)."""
+        target = self.full_data_reference[reference_method]
+        for fraction, score in zip(self.fractions, self.scores[method]):
+            if score >= target:
+                return int(round(fraction * total))
+        return None
+
+
+def _subset_task(task, fraction: float, rng: np.random.Generator):
+    """Clone the task with a random training subset (dev/test untouched)."""
+    from dataclasses import replace
+
+    n = len(task.train)
+    keep = rng.choice(n, size=max(2, int(round(fraction * n))), replace=False)
+    keep.sort()
+    return replace(task, train=task.train.subset(keep))
+
+
+def run_sentiment_sample_efficiency(
+    config: SentimentBenchConfig,
+    fractions: list[float],
+    methods: list[str],
+    reference_method: str,
+    seed: int = 0,
+) -> SampleEfficiencyResult:
+    """Sweep training fractions on sentiment; 'prediction' is the score."""
+    task = build_sentiment_data(seed, config)
+    subset_rng = np.random.default_rng(seed + 9000)
+    full_reference = {
+        reference_method: run_sentiment_method(reference_method, task, config, seed)["prediction"]
+    }
+    scores: dict[str, list[float]] = {m: [] for m in methods}
+    for fraction in fractions:
+        sub = _subset_task(task, fraction, subset_rng)
+        for method in methods:
+            scores[method].append(run_sentiment_method(method, sub, config, seed)["prediction"])
+    return SampleEfficiencyResult(fractions, scores, full_reference)
+
+
+def run_ner_sample_efficiency(
+    config: NERBenchConfig,
+    fractions: list[float],
+    methods: list[str],
+    reference_method: str,
+    seed: int = 0,
+) -> SampleEfficiencyResult:
+    """Sweep training fractions on NER; span F1 is the score."""
+    task = build_ner_data(seed, config)
+    subset_rng = np.random.default_rng(seed + 9000)
+    full_reference = {
+        reference_method: run_ner_method(reference_method, task, config, seed)["f1"]
+    }
+    scores: dict[str, list[float]] = {m: [] for m in methods}
+    for fraction in fractions:
+        sub = _subset_task(task, fraction, subset_rng)
+        for method in methods:
+            scores[method].append(run_ner_method(method, sub, config, seed)["f1"])
+    return SampleEfficiencyResult(fractions, scores, full_reference)

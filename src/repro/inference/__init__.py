@@ -1,0 +1,30 @@
+"""Truth-inference baselines (Tables II/III "Truth Inference" blocks)."""
+
+from .base import InferenceResult, SequenceInferenceResult, TruthInferenceMethod
+from .bsc_seq import BSCSeq
+from .catd import CATD
+from .dawid_skene import DawidSkene
+from .glad import GLAD
+from .hmm_crowd import HMMCrowd, forward_backward
+from .ibcc import IBCC
+from .majority_vote import MajorityVote, majority_vote_posterior
+from .pm import PM
+from .sequence_utils import TokenLevelInference, flatten_sequence_crowd
+
+__all__ = [
+    "InferenceResult",
+    "SequenceInferenceResult",
+    "TruthInferenceMethod",
+    "MajorityVote",
+    "majority_vote_posterior",
+    "DawidSkene",
+    "GLAD",
+    "PM",
+    "CATD",
+    "IBCC",
+    "HMMCrowd",
+    "BSCSeq",
+    "forward_backward",
+    "TokenLevelInference",
+    "flatten_sequence_crowd",
+]

@@ -1,0 +1,83 @@
+"""Shared interface for truth-inference methods.
+
+Truth inference (Zheng et al., VLDB 2017) estimates each instance's latent
+true label from redundant noisy crowd labels, *without* features. The paper
+benchmarks MV, DS, GLAD, PM, CATD on sentiment and MV, DS, IBCC, BSC-seq,
+HMM-Crowd on NER (Tables II/III, "Truth Inference" blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crowd.types import CrowdLabelMatrix
+
+__all__ = ["InferenceResult", "TruthInferenceMethod", "SequenceInferenceResult"]
+
+
+@dataclass
+class InferenceResult:
+    """Output of a truth-inference method on a classification crowd.
+
+    Attributes
+    ----------
+    posterior:
+        ``(I, K)`` soft truth estimates (rows sum to 1).
+    confusions:
+        ``(J, K, K)`` estimated annotator confusion matrices, when the
+        method models them (DS/IBCC), else None.
+    extras:
+        Method-specific diagnostics (iterations, weights, ...).
+    """
+
+    posterior: np.ndarray
+    confusions: np.ndarray | None = None
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.posterior = np.asarray(self.posterior, dtype=np.float64)
+        if self.posterior.ndim != 2:
+            raise ValueError(f"posterior must be (I, K), got {self.posterior.shape}")
+        sums = self.posterior.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-6):
+            raise ValueError("posterior rows must sum to 1")
+
+    def hard_labels(self) -> np.ndarray:
+        """Argmax labels (ties resolve to the lowest class id)."""
+        return self.posterior.argmax(axis=1)
+
+
+@dataclass
+class SequenceInferenceResult:
+    """Output of a truth-inference method on a sequence crowd.
+
+    Attributes
+    ----------
+    posteriors:
+        List of ``(T_i, K)`` per-token soft truth estimates.
+    """
+
+    posteriors: list[np.ndarray]
+    confusions: np.ndarray | None = None
+    extras: dict = field(default_factory=dict)
+
+    def hard_labels(self) -> list[np.ndarray]:
+        return [posterior.argmax(axis=1) for posterior in self.posteriors]
+
+
+class TruthInferenceMethod:
+    """Base class; subclasses set :attr:`name` and implement :meth:`infer`."""
+
+    name: str = "base"
+
+    def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_nonempty(crowd: CrowdLabelMatrix) -> None:
+        counts = crowd.annotations_per_instance()
+        if (counts == 0).any():
+            empty = int((counts == 0).sum())
+            raise ValueError(f"{empty} instances have no annotations at all")

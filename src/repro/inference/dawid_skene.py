@@ -1,0 +1,78 @@
+"""Dawid & Skene (1979): confusion-matrix EM for truth inference.
+
+The grandfather of the paper's probabilistic model family (§VII). Latent
+true labels, per-annotator confusion matrices, class prior; EM alternates
+Bayes-rule posteriors with closed-form count updates. Laplace smoothing
+keeps confusion rows proper on sparse annotators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crowd.types import CrowdLabelMatrix
+from .base import InferenceResult, TruthInferenceMethod
+from .majority_vote import majority_vote_posterior
+
+__all__ = ["DawidSkene"]
+
+
+class DawidSkene(TruthInferenceMethod):
+    """Classic DS EM.
+
+    Parameters
+    ----------
+    max_iterations:
+        Upper bound on EM sweeps.
+    tolerance:
+        Stop when the posterior's max absolute change falls below this.
+    smoothing:
+        Laplace pseudo-count added to confusion and prior counts.
+    """
+
+    name = "DS"
+
+    def __init__(self, max_iterations: int = 100, tolerance: float = 1e-6, smoothing: float = 0.01) -> None:
+        if max_iterations < 1:
+            raise ValueError("need at least one iteration")
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
+        self._check_nonempty(crowd)
+        I, J = crowd.num_instances, crowd.num_annotators
+        K = crowd.num_classes
+        one_hot = crowd.one_hot()                       # (I, J, K)
+        posterior = majority_vote_posterior(crowd)
+
+        confusions = np.zeros((J, K, K))
+        iterations_used = self.max_iterations
+        for iteration in range(self.max_iterations):
+            # M-step: confusion counts and class prior from soft assignments.
+            counts = np.einsum("im,ijn->jmn", posterior, one_hot) + self.smoothing
+            confusions = counts / counts.sum(axis=2, keepdims=True)
+            prior = posterior.sum(axis=0) + self.smoothing
+            prior /= prior.sum()
+
+            # E-step in log space: log q(t_i=m) = log p_m + Σ_j log π_j[m, y_ij].
+            log_confusions = np.log(confusions)
+            log_likelihood = np.einsum("ijn,jmn->im", one_hot, log_confusions)
+            log_posterior = np.log(prior)[None, :] + log_likelihood
+            log_posterior -= log_posterior.max(axis=1, keepdims=True)
+            new_posterior = np.exp(log_posterior)
+            new_posterior /= new_posterior.sum(axis=1, keepdims=True)
+
+            delta = float(np.abs(new_posterior - posterior).max())
+            posterior = new_posterior
+            if delta < self.tolerance:
+                iterations_used = iteration + 1
+                break
+
+        return InferenceResult(
+            posterior=posterior,
+            confusions=confusions,
+            extras={"iterations": iterations_used},
+        )

@@ -1,0 +1,168 @@
+"""HMM-Crowd (Nguyen et al., ACL 2017): sequential truth inference.
+
+Hidden true tag sequences follow a first-order Markov chain; each annotator
+emits labels through a per-annotator confusion matrix. EM:
+
+* E-step — per sentence, forward–backward over the chain whose emission
+  likelihood at token ``t`` for state ``m`` is
+  ``Π_{j∈J(i)} π_j[m, y_{tj}]``;
+* M-step — count updates (with smoothing) for the initial distribution,
+  the transition matrix, and every confusion matrix.
+
+The transition matrix is what lets the method repair boundary errors that
+token-independent aggregation (MV/DS) cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crowd.types import SequenceCrowdLabels
+from .base import SequenceInferenceResult
+
+__all__ = ["HMMCrowd", "forward_backward"]
+
+
+def forward_backward(
+    log_emissions: np.ndarray, log_transition: np.ndarray, log_initial: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Scaled forward–backward on one chain.
+
+    Parameters
+    ----------
+    log_emissions:
+        ``(T, K)`` log emission likelihoods.
+    log_transition:
+        ``(K, K)`` log transition matrix (rows: from-state).
+    log_initial:
+        ``(K,)`` log initial distribution.
+
+    Returns
+    -------
+    ``(gamma, xi_sum, log_likelihood)`` — per-token marginals ``(T, K)``,
+    summed pairwise marginals ``(K, K)``, and the chain's log evidence.
+    """
+    T, K = log_emissions.shape
+    emissions = np.exp(log_emissions - log_emissions.max(axis=1, keepdims=True))
+    transition = np.exp(log_transition)
+    initial = np.exp(log_initial - log_initial.max())
+    initial /= initial.sum()
+
+    alpha = np.zeros((T, K))
+    scales = np.zeros(T)
+    alpha[0] = initial * emissions[0]
+    scales[0] = alpha[0].sum()
+    alpha[0] /= scales[0]
+    for t in range(1, T):
+        alpha[t] = emissions[t] * (alpha[t - 1] @ transition)
+        scales[t] = alpha[t].sum()
+        if scales[t] <= 0:
+            raise ValueError(f"chain has no support at position {t}")
+        alpha[t] /= scales[t]
+
+    beta = np.ones((T, K))
+    for t in range(T - 2, -1, -1):
+        beta[t] = transition @ (emissions[t + 1] * beta[t + 1])
+        beta[t] /= max(beta[t].sum(), 1e-300)
+
+    gamma = alpha * beta
+    gamma /= gamma.sum(axis=1, keepdims=True)
+
+    xi_sum = np.zeros((K, K))
+    for t in range(T - 1):
+        xi = (alpha[t][:, None] * transition) * (emissions[t + 1] * beta[t + 1])[None, :]
+        total = xi.sum()
+        if total > 0:
+            xi_sum += xi / total
+
+    # The dropped per-row emission max constants cancel in gamma/xi but not
+    # in the evidence; add them back.
+    log_likelihood = float(np.log(scales).sum() + log_emissions.max(axis=1).sum())
+    return gamma, xi_sum, log_likelihood
+
+
+class HMMCrowd:
+    """EM for the HMM-with-crowd-emissions model."""
+
+    name = "HMM-Crowd"
+
+    def __init__(self, max_iterations: int = 30, tolerance: float = 1e-4, smoothing: float = 0.1) -> None:
+        if max_iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    # ------------------------------------------------------------------ #
+    def _log_emissions(
+        self, crowd: SequenceCrowdLabels, instance: int, log_confusions: np.ndarray
+    ) -> np.ndarray:
+        """``(T, K)`` log Π_j π_j[m, y_tj] for one sentence."""
+        matrix = crowd.labels[instance]
+        T = matrix.shape[0]
+        K = crowd.num_classes
+        out = np.zeros((T, K))
+        for j in crowd.annotators_of(instance):
+            out += log_confusions[j][:, matrix[:, j]].T  # (T, K) via fancy index
+        return out
+
+    def infer(self, crowd: SequenceCrowdLabels) -> SequenceInferenceResult:
+        K = crowd.num_classes
+        J = crowd.num_annotators
+
+        # Init from token-level majority voting.
+        posteriors: list[np.ndarray] = []
+        for i in range(crowd.num_instances):
+            votes = crowd.token_vote_counts(i).astype(np.float64) + 1e-3
+            posteriors.append(votes / votes.sum(axis=1, keepdims=True))
+
+        transition = np.full((K, K), 1.0 / K)
+        initial = np.full(K, 1.0 / K)
+        confusions = np.zeros((J, K, K))
+        previous_log_likelihood = -np.inf
+
+        iterations_used = self.max_iterations
+        for iteration in range(self.max_iterations):
+            # M-step from current posteriors.
+            confusion_counts = np.full((J, K, K), self.smoothing)
+            transition_counts = np.full((K, K), self.smoothing)
+            initial_counts = np.full(K, self.smoothing)
+            for i in range(crowd.num_instances):
+                gamma = posteriors[i]
+                matrix = crowd.labels[i]
+                initial_counts += gamma[0]
+                for j in crowd.annotators_of(i):
+                    np.add.at(confusion_counts[j].T, matrix[:, j], gamma)
+            confusions = confusion_counts / confusion_counts.sum(axis=2, keepdims=True)
+
+            # E-step with fresh transition statistics.
+            log_confusions = np.log(confusions)
+            log_transition = np.log(transition)
+            log_initial = np.log(initial)
+            total_log_likelihood = 0.0
+            new_posteriors: list[np.ndarray] = []
+            for i in range(crowd.num_instances):
+                log_em = self._log_emissions(crowd, i, log_confusions)
+                gamma, xi_sum, log_like = forward_backward(log_em, log_transition, log_initial)
+                new_posteriors.append(gamma)
+                transition_counts += xi_sum
+                total_log_likelihood += log_like
+            posteriors = new_posteriors
+            transition = transition_counts / transition_counts.sum(axis=1, keepdims=True)
+            initial = initial_counts / initial_counts.sum()
+
+            if abs(total_log_likelihood - previous_log_likelihood) < self.tolerance:
+                iterations_used = iteration + 1
+                break
+            previous_log_likelihood = total_log_likelihood
+
+        return SequenceInferenceResult(
+            posteriors=posteriors,
+            confusions=confusions,
+            extras={
+                "transition": transition,
+                "initial": initial,
+                "iterations": iterations_used,
+                "log_likelihood": previous_log_likelihood,
+            },
+        )

@@ -1,0 +1,96 @@
+"""IBCC (Kim & Ghahramani, AISTATS 2012): independent Bayesian classifier
+combination, realized with variational Bayes.
+
+Bayesian Dawid–Skene: Dirichlet priors over the class proportions and over
+each row of each annotator's confusion matrix. The variational posterior
+factorizes; updates alternate
+
+    q(t_i) ∝ exp( E[log p_m] + Σ_j E[log π_j(m, y_ij)] )
+
+with Dirichlet-count updates whose expectations use digamma functions. The
+priors make it markedly more robust than plain DS on annotators with few
+labels (the NER crowd's long tail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import digamma
+
+from ..crowd.types import CrowdLabelMatrix
+from .base import InferenceResult, TruthInferenceMethod
+from .majority_vote import majority_vote_posterior
+
+__all__ = ["IBCC"]
+
+
+class IBCC(TruthInferenceMethod):
+    """Variational-Bayes IBCC.
+
+    Parameters
+    ----------
+    prior_diagonal, prior_off_diagonal:
+        Dirichlet pseudo-counts for confusion rows: the diagonal prior
+        encodes "annotators are better than chance".
+    prior_class:
+        Symmetric Dirichlet pseudo-count for class proportions.
+    """
+
+    name = "IBCC"
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        prior_diagonal: float = 2.0,
+        prior_off_diagonal: float = 1.0,
+        prior_class: float = 1.0,
+    ) -> None:
+        if prior_diagonal <= 0 or prior_off_diagonal <= 0 or prior_class <= 0:
+            raise ValueError("Dirichlet priors must be positive")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.prior_diagonal = prior_diagonal
+        self.prior_off_diagonal = prior_off_diagonal
+        self.prior_class = prior_class
+
+    def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
+        self._check_nonempty(crowd)
+        K = crowd.num_classes
+        one_hot = crowd.one_hot()
+        posterior = majority_vote_posterior(crowd)
+        prior_matrix = np.full((K, K), self.prior_off_diagonal)
+        np.fill_diagonal(prior_matrix, self.prior_diagonal)
+
+        confusions = np.zeros((crowd.num_annotators, K, K))
+        iterations_used = self.max_iterations
+        for iteration in range(self.max_iterations):
+            # Variational M: Dirichlet posterior counts.
+            confusion_counts = np.einsum("im,ijn->jmn", posterior, one_hot) + prior_matrix
+            class_counts = posterior.sum(axis=0) + self.prior_class
+
+            expected_log_confusion = digamma(confusion_counts) - digamma(
+                confusion_counts.sum(axis=2, keepdims=True)
+            )
+            expected_log_class = digamma(class_counts) - digamma(class_counts.sum())
+
+            # Variational E.
+            log_posterior = expected_log_class[None, :] + np.einsum(
+                "ijn,jmn->im", one_hot, expected_log_confusion
+            )
+            log_posterior -= log_posterior.max(axis=1, keepdims=True)
+            new_posterior = np.exp(log_posterior)
+            new_posterior /= new_posterior.sum(axis=1, keepdims=True)
+
+            delta = float(np.abs(new_posterior - posterior).max())
+            posterior = new_posterior
+            confusions = confusion_counts / confusion_counts.sum(axis=2, keepdims=True)
+            if delta < self.tolerance:
+                iterations_used = iteration + 1
+                break
+
+        return InferenceResult(
+            posterior=posterior,
+            confusions=confusions,
+            extras={"iterations": iterations_used},
+        )

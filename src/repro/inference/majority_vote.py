@@ -1,0 +1,32 @@
+"""Majority voting — the canonical truth-inference baseline.
+
+The *soft* posterior is the per-instance vote fraction, which is also how
+Algorithm 1 of the paper initializes ``qf(t)`` ("Initialize qf(t) with
+Majority Voting").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crowd.types import CrowdLabelMatrix
+from .base import InferenceResult, TruthInferenceMethod
+
+__all__ = ["MajorityVote", "majority_vote_posterior"]
+
+
+def majority_vote_posterior(crowd: CrowdLabelMatrix) -> np.ndarray:
+    """``(I, K)`` vote-fraction posterior; uniform for unlabeled instances."""
+    counts = crowd.vote_counts().astype(np.float64)
+    totals = counts.sum(axis=1, keepdims=True)
+    uniform = np.full((1, crowd.num_classes), 1.0 / crowd.num_classes)
+    return np.where(totals > 0, counts / np.where(totals > 0, totals, 1.0), uniform)
+
+
+class MajorityVote(TruthInferenceMethod):
+    """Soft majority voting."""
+
+    name = "MV"
+
+    def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
+        return InferenceResult(posterior=majority_vote_posterior(crowd))

@@ -1,0 +1,50 @@
+"""Adapters that run instance-level inference methods at the token level.
+
+MV, DS, and IBCC are token-independent, so for sequence crowds (NER) the
+paper applies them per token. These adapters flatten a
+:class:`~repro.crowd.SequenceCrowdLabels` into one big token × annotator
+matrix, run the wrapped method, and unflatten back into per-sentence
+posteriors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crowd.types import CrowdLabelMatrix, SequenceCrowdLabels
+from .base import SequenceInferenceResult, TruthInferenceMethod
+
+__all__ = ["flatten_sequence_crowd", "TokenLevelInference"]
+
+
+def flatten_sequence_crowd(crowd: SequenceCrowdLabels) -> tuple[CrowdLabelMatrix, list[slice]]:
+    """Stack all sentences' token labels into one ``(ΣT_i, J)`` matrix.
+
+    Returns the matrix and per-sentence row slices for unflattening.
+    """
+    pieces = [np.asarray(matrix) for matrix in crowd.labels]
+    slices: list[slice] = []
+    cursor = 0
+    for piece in pieces:
+        slices.append(slice(cursor, cursor + piece.shape[0]))
+        cursor += piece.shape[0]
+    stacked = np.concatenate(pieces, axis=0)
+    return CrowdLabelMatrix(stacked, crowd.num_classes), slices
+
+
+class TokenLevelInference:
+    """Run a classification truth-inference method independently per token."""
+
+    def __init__(self, method: TruthInferenceMethod) -> None:
+        self.method = method
+        self.name = f"{method.name} (token)"
+
+    def infer(self, crowd: SequenceCrowdLabels) -> SequenceInferenceResult:
+        flat, slices = flatten_sequence_crowd(crowd)
+        result = self.method.infer(flat)
+        posteriors = [result.posterior[s] for s in slices]
+        return SequenceInferenceResult(
+            posteriors=posteriors,
+            confusions=result.confusions,
+            extras=dict(result.extras),
+        )

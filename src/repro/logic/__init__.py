@@ -1,0 +1,40 @@
+"""Probabilistic soft logic (PSL) substrate and Logic-LNCL distillation math.
+
+Public surface::
+
+    from repro.logic import (
+        Atom, Rule, RuleSet,
+        soft_and, soft_or, soft_not, soft_implies,
+        distill_posterior, chain_marginals,
+        ButRule, TransitionRules, bio_transition_rules,
+    )
+"""
+
+from .distillation import chain_marginals, distill_posterior
+from .formula import And, Atom, Formula, Implies, Not, Or
+from .ner_rules import TransitionRules, bio_transition_rules
+from .operators import soft_and, soft_implies, soft_not, soft_or, validate_truth
+from .rules import Grounding, Rule, RuleSet
+from .sentiment_rules import ButRule
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Rule",
+    "RuleSet",
+    "Grounding",
+    "soft_and",
+    "soft_or",
+    "soft_not",
+    "soft_implies",
+    "validate_truth",
+    "distill_posterior",
+    "chain_marginals",
+    "ButRule",
+    "TransitionRules",
+    "bio_transition_rules",
+]

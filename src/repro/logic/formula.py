@@ -1,0 +1,125 @@
+"""First-order soft-logic formula AST with Łukasiewicz semantics.
+
+A formula is built from :class:`Atom` leaves combined with ``&``, ``|``,
+``~`` and ``>>`` (implication). Truth evaluation takes an *interpretation*:
+a mapping from atom names to soft truth values in [0, 1] (floats or
+equally-shaped NumPy arrays, evaluated elementwise).
+
+Example (the paper's Eq. 3)::
+
+    friend = Atom("friend(B,A)")
+    votes_a = Atom("votesFor(A,P)")
+    votes_b = Atom("votesFor(B,P)")
+    rule_body = (friend & votes_a) >> votes_b
+    rule_body.truth({"friend(B,A)": 1.0, "votesFor(A,P)": 0.9,
+                     "votesFor(B,P)": 0.4})
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+from .operators import soft_and, soft_implies, soft_not, soft_or, validate_truth
+
+__all__ = ["Formula", "Atom", "Not", "And", "Or", "Implies"]
+
+
+class Formula:
+    """Base class for soft-logic formulas."""
+
+    def truth(self, interpretation: Mapping[str, float]):
+        """Soft truth value of the formula under ``interpretation``."""
+        raise NotImplementedError
+
+    def atoms(self) -> set[str]:
+        """Names of all atoms appearing in the formula."""
+        raise NotImplementedError
+
+    # Operator sugar ---------------------------------------------------- #
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+
+class Atom(Formula):
+    """A named atom whose soft truth comes from the interpretation."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("atom name must be non-empty")
+        self.name = name
+
+    def truth(self, interpretation: Mapping[str, float]):
+        if self.name not in interpretation:
+            raise KeyError(f"interpretation missing atom {self.name!r}")
+        return validate_truth(interpretation[self.name], f"atom {self.name!r}")
+
+    def atoms(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r})"
+
+
+class Not(Formula):
+    """Łukasiewicz negation."""
+
+    def __init__(self, operand: Formula) -> None:
+        self.operand = operand
+
+    def truth(self, interpretation):
+        return soft_not(self.operand.truth(interpretation))
+
+    def atoms(self) -> set[str]:
+        return self.operand.atoms()
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+class _Binary(Formula):
+    _symbol = "?"
+    _op = staticmethod(lambda a, b: a)
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        self.left = left
+        self.right = right
+
+    def truth(self, interpretation):
+        return type(self)._op(self.left.truth(interpretation), self.right.truth(interpretation))
+
+    def atoms(self) -> set[str]:
+        return self.left.atoms() | self.right.atoms()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+
+class And(_Binary):
+    """Łukasiewicz conjunction."""
+
+    _symbol = "&"
+    _op = staticmethod(soft_and)
+
+
+class Or(_Binary):
+    """Łukasiewicz disjunction."""
+
+    _symbol = "|"
+    _op = staticmethod(soft_or)
+
+
+class Implies(_Binary):
+    """Łukasiewicz implication (``body >> head``)."""
+
+    _symbol = "=>"
+    _op = staticmethod(soft_implies)

@@ -1,0 +1,132 @@
+"""A small text DSL for first-order soft-logic rules.
+
+Lets rules be written the way the paper prints them::
+
+    parse_formula("friend(B,A) & votesFor(A,P) >> votesFor(B,P)")
+
+Grammar (in decreasing precedence)::
+
+    atom     := identifier [ '(' args ')' ]       e.g. votesFor(A,P)
+    unary    := '~' unary | atom | '(' expr ')'
+    conj     := unary ('&' unary)*
+    disj     := conj ('|' conj)*
+    expr     := disj ('>>' disj)*                 (right-associative)
+
+Atoms keep their full surface text (including the argument list) as the
+atom name, so interpretations are keyed exactly by what was written.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .formula import Atom, Formula
+from .rules import Rule
+
+__all__ = ["parse_formula", "parse_rule", "RuleSyntaxError"]
+
+
+class RuleSyntaxError(ValueError):
+    """Raised when rule text cannot be parsed."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<implies>>>)|(?P<and>&)|(?P<or>\|)|(?P<not>~)"
+    r"|(?P<lparen>\()|(?P<rparen>\))"
+    r"|(?P<atom>[A-Za-z_][A-Za-z0-9_\-]*(?:\([^()]*\))?))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise RuleSyntaxError(f"cannot tokenize rule text at: {remainder!r}")
+        kind = match.lastgroup
+        tokens.append((kind, match.group(kind)))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.position = 0
+
+    def _peek(self) -> str | None:
+        if self.position >= len(self.tokens):
+            return None
+        return self.tokens[self.position][0]
+
+    def _advance(self) -> tuple[str, str]:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str) -> tuple[str, str]:
+        if self._peek() != kind:
+            found = self._peek() or "end of input"
+            raise RuleSyntaxError(f"expected {kind} but found {found} in {self.text!r}")
+        return self._advance()
+
+    # expr := disj ('>>' disj)*  — right-associative implication chain
+    def parse_expr(self) -> Formula:
+        left = self.parse_disj()
+        if self._peek() == "implies":
+            self._advance()
+            right = self.parse_expr()
+            return left >> right
+        return left
+
+    def parse_disj(self) -> Formula:
+        left = self.parse_conj()
+        while self._peek() == "or":
+            self._advance()
+            left = left | self.parse_conj()
+        return left
+
+    def parse_conj(self) -> Formula:
+        left = self.parse_unary()
+        while self._peek() == "and":
+            self._advance()
+            left = left & self.parse_unary()
+        return left
+
+    def parse_unary(self) -> Formula:
+        kind = self._peek()
+        if kind == "not":
+            self._advance()
+            return ~self.parse_unary()
+        if kind == "lparen":
+            self._advance()
+            inner = self.parse_expr()
+            self._expect("rparen")
+            return inner
+        if kind == "atom":
+            return Atom(self._advance()[1])
+        found = kind or "end of input"
+        raise RuleSyntaxError(f"unexpected {found} in {self.text!r}")
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse rule text into a :class:`~repro.logic.formula.Formula`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise RuleSyntaxError("empty rule text")
+    parser = _Parser(tokens, text)
+    formula = parser.parse_expr()
+    if parser.position != len(tokens):
+        leftover = tokens[parser.position :]
+        raise RuleSyntaxError(f"trailing tokens {leftover} in {text!r}")
+    return formula
+
+
+def parse_rule(text: str, weight: float = 1.0, name: str | None = None) -> Rule:
+    """Parse rule text into a weighted :class:`~repro.logic.rules.Rule`."""
+    return Rule(name or text.strip(), parse_formula(text), weight=weight)

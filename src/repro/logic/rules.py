@@ -1,0 +1,138 @@
+"""Weighted PSL rules, groundings, and rule sets.
+
+The paper works with a weighted rule set ``R = {(R_l, w_l)}`` where
+``w_l ∈ [0, 1]`` is the rule's credibility. When a rule template is applied
+to concrete data instances it produces *groundings*; the Logic-LNCL
+pseudo-E-step needs, for every instance ``i`` and candidate label ``t``, the
+rule value ``v_l(x_i, t)`` (``= 1 - d_l``, where ``d_l`` is PSL's "distance
+to satisfaction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from .formula import Formula
+
+__all__ = ["Rule", "Grounding", "RuleSet"]
+
+
+@dataclass
+class Grounding:
+    """One instantiation of a rule on concrete data.
+
+    Attributes
+    ----------
+    interpretation:
+        Atom name → soft truth mapping for everything except the latent
+        label atoms (those are filled per candidate label at query time).
+    """
+
+    rule_name: str
+    interpretation: dict[str, float] = field(default_factory=dict)
+
+
+class Rule:
+    """A weighted first-order soft-logic rule.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    formula:
+        The rule body, a :class:`~repro.logic.formula.Formula`.
+    weight:
+        Credibility ``w_l ∈ [0, 1]``.
+    """
+
+    def __init__(self, name: str, formula: Formula, weight: float = 1.0) -> None:
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"rule weight must be in [0, 1], got {weight}")
+        self.name = name
+        self.formula = formula
+        self.weight = float(weight)
+
+    def value(self, interpretation: Mapping[str, float]):
+        """Rule value ``v_l`` — the soft truth of the formula."""
+        return self.formula.truth(interpretation)
+
+    def distance_to_satisfaction(self, interpretation: Mapping[str, float]):
+        """PSL's ``d_l = 1 - v_l``; zero when fully satisfied."""
+        return 1.0 - np.asarray(self.value(interpretation))
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name!r}, weight={self.weight})"
+
+
+class RuleSet:
+    """An ordered collection of weighted rules.
+
+    Provides the aggregate penalty the Logic-LNCL distillation step needs:
+    ``penalty(interp) = Σ_l w_l (1 - v_l(interp))`` (the exponent of paper
+    Eq. 15, before scaling by the regularization strength ``C``).
+    """
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self.rules: list[Rule] = list(rules)
+        names = [rule.name for rule in self.rules]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate rule names in {names}")
+
+    def add(self, rule: Rule) -> "RuleSet":
+        if any(existing.name == rule.name for existing in self.rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def penalty(self, interpretation: Mapping[str, float]):
+        """``Σ_l w_l · (1 - v_l)`` under one interpretation."""
+        total = 0.0
+        for rule in self.rules:
+            total = total + rule.weight * rule.distance_to_satisfaction(interpretation)
+        return total
+
+    def ground_penalties(
+        self,
+        groundings: Iterable[Grounding],
+        label_atoms: Callable[[int], dict[str, float]],
+        num_classes: int,
+    ) -> np.ndarray:
+        """Penalty of each grounding for each candidate latent label.
+
+        Parameters
+        ----------
+        groundings:
+            Groundings whose interpretations lack the label atoms.
+        label_atoms:
+            Callable mapping a candidate class index to the atom values that
+            encode "the latent label is this class".
+        num_classes:
+            Number of candidate classes ``K``.
+
+        Returns
+        -------
+        ``(len(groundings), K)`` array of ``Σ_l w_l (1 - v_l)``.
+        """
+        grounding_list = list(groundings)
+        out = np.zeros((len(grounding_list), num_classes))
+        by_name = {rule.name: rule for rule in self.rules}
+        for g_idx, grounding in enumerate(grounding_list):
+            rule = by_name.get(grounding.rule_name)
+            if rule is None:
+                raise KeyError(f"grounding references unknown rule {grounding.rule_name!r}")
+            for k in range(num_classes):
+                interpretation = dict(grounding.interpretation)
+                interpretation.update(label_atoms(k))
+                out[g_idx, k] = rule.weight * float(
+                    rule.distance_to_satisfaction(interpretation)
+                )
+        return out

@@ -1,0 +1,129 @@
+"""The "A-but-B" contrastive-sentiment rule (paper Eq. 16–17).
+
+For a sentence with an "A but B" structure, the sentiment of the whole
+sentence should agree with the sentiment of clause B::
+
+    positive(S) => σΘ(clause B)+        (weight 1)
+    negative(S) => σΘ(clause B)-        (weight 1)
+
+so the rule value for candidate label ``k`` is the classifier's own
+probability that clause B has label ``k``, and the Eq. 15 penalty becomes
+``w · (1 - σΘ(B)_k)``. Sentences without the trigger word produce no
+grounding (zero penalty, hence ``qb = qa``).
+
+The ablation "our-other-rules" replaces the trigger word "but" with the
+weaker "however"; this class is parameterized by trigger token so both the
+main experiment and the ablation use the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ButRule"]
+
+
+class ButRule:
+    """Groundable A-but-B rule over tokenized sentences.
+
+    Parameters
+    ----------
+    trigger_id:
+        Vocabulary id of the contrast conjunction ("but"; "however" in the
+        ablation).
+    num_classes:
+        Number of sentiment classes ``K`` (2 in the paper).
+    weight:
+        Rule credibility ``w`` (paper sets 1.0 for both polarity rules).
+    pad_id:
+        Vocabulary id used for padding clause-B batches.
+    """
+
+    def __init__(self, trigger_id: int, num_classes: int = 2, weight: float = 1.0, pad_id: int = 0) -> None:
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"rule weight must be in [0, 1], got {weight}")
+        if num_classes < 2:
+            raise ValueError(f"need at least two classes, got {num_classes}")
+        self.trigger_id = int(trigger_id)
+        self.num_classes = int(num_classes)
+        self.weight = float(weight)
+        self.pad_id = int(pad_id)
+
+    def clause_b(self, tokens: np.ndarray, length: int) -> np.ndarray | None:
+        """Return the token ids after the *last* trigger, or None.
+
+        Uses the last occurrence: in nested contrasts the final clause
+        dominates. An empty clause (trigger is the final token) yields no
+        grounding.
+        """
+        valid = np.asarray(tokens[:length])
+        positions = np.nonzero(valid == self.trigger_id)[0]
+        if positions.size == 0:
+            return None
+        start = int(positions[-1]) + 1
+        if start >= length:
+            return None
+        return valid[start:length]
+
+    def groundings(self, token_batch: np.ndarray, lengths: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """All (instance index, clause-B tokens) pairs in a batch."""
+        out: list[tuple[int, np.ndarray]] = []
+        for i in range(token_batch.shape[0]):
+            clause = self.clause_b(token_batch[i], int(lengths[i]))
+            if clause is not None:
+                out.append((i, clause))
+        return out
+
+    def penalties(
+        self,
+        token_batch: np.ndarray,
+        lengths: np.ndarray,
+        predict_proba: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """Eq. 15 penalties ``Σ_l w_l (1 - v_l)`` for a batch.
+
+        Parameters
+        ----------
+        token_batch:
+            ``(B, T)`` integer token ids (padded).
+        lengths:
+            ``(B,)`` true sentence lengths.
+        predict_proba:
+            Classifier callable ``(tokens, lengths) → (n, K)`` used to score
+            clause B (the σΘ of Eq. 16–17). It is the *current* network, so
+            distillation sharpens as the classifier improves.
+
+        Returns
+        -------
+        ``(B, K)`` penalty array; rows without a grounding are zero.
+        """
+        token_batch = np.asarray(token_batch)
+        lengths = np.asarray(lengths)
+        if token_batch.ndim != 2:
+            raise ValueError(f"token_batch must be (B, T), got {token_batch.shape}")
+        if lengths.shape != (token_batch.shape[0],):
+            raise ValueError("lengths must have one entry per instance")
+
+        grounded = self.groundings(token_batch, lengths)
+        penalties = np.zeros((token_batch.shape[0], self.num_classes))
+        if not grounded:
+            return penalties
+
+        clause_lengths = np.array([len(clause) for _, clause in grounded])
+        max_len = int(clause_lengths.max())
+        clause_batch = np.full((len(grounded), max_len), self.pad_id, dtype=token_batch.dtype)
+        for row, (_, clause) in enumerate(grounded):
+            clause_batch[row, : len(clause)] = clause
+
+        proba = np.asarray(predict_proba(clause_batch, clause_lengths))
+        if proba.shape != (len(grounded), self.num_classes):
+            raise ValueError(
+                f"predict_proba returned shape {proba.shape}, expected "
+                f"({len(grounded)}, {self.num_classes})"
+            )
+        for row, (instance_idx, _) in enumerate(grounded):
+            # v_l(x, t=k) = σΘ(clause B)_k; penalty = w · (1 - v).
+            penalties[instance_idx] = self.weight * (1.0 - proba[row])
+        return penalties

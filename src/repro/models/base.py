@@ -1,0 +1,75 @@
+"""Model interfaces shared by classifiers and sequence taggers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+from ..autodiff import functional as F
+from ..autodiff.nn import Module
+
+__all__ = ["TextClassifier", "SequenceTagger"]
+
+
+class TextClassifier(Module):
+    """Base class: sentence in, class logits out.
+
+    Subclasses implement :meth:`logits`; prediction helpers run in eval
+    mode without building the autodiff tape.
+    """
+
+    num_classes: int
+
+    def logits(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
+        """``(B, K)`` unnormalized class scores (training mode respected)."""
+        raise NotImplementedError
+
+    def forward(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
+        return self.logits(tokens, lengths)
+
+    def predict_proba(self, tokens: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """``(B, K)`` class probabilities, eval mode, no tape."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                probabilities = F.softmax(self.logits(tokens, lengths)).numpy()
+        finally:
+            if was_training:
+                self.train()
+        return probabilities
+
+    def predict(self, tokens: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Hard label predictions, shape ``(B,)``."""
+        return self.predict_proba(tokens, lengths).argmax(axis=1)
+
+
+class SequenceTagger(Module):
+    """Base class: sentence in, per-token tag logits out."""
+
+    num_classes: int
+
+    def logits(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
+        """``(B, T, K)`` unnormalized per-token scores."""
+        raise NotImplementedError
+
+    def forward(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
+        return self.logits(tokens, lengths)
+
+    def predict_proba(self, tokens: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """``(B, T, K)`` per-token probabilities, eval mode, no tape."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                probabilities = F.softmax(self.logits(tokens, lengths), axis=-1).numpy()
+        finally:
+            if was_training:
+                self.train()
+        return probabilities
+
+    def predict(self, tokens: np.ndarray, lengths: np.ndarray) -> list[np.ndarray]:
+        """Per-sentence tag-id arrays trimmed to true lengths."""
+        proba = self.predict_proba(tokens, lengths)
+        hard = proba.argmax(axis=-1)
+        return [hard[i, : int(lengths[i])] for i in range(len(lengths))]

@@ -1,0 +1,58 @@
+"""Bag-of-embeddings classifiers: logistic regression and a small MLP.
+
+Raykar et al. (2010) — the paper's probabilistic baseline — uses logistic
+regression as its classifier. We realize it as a linear layer over
+mean-pooled word embeddings; :class:`MLPClassifier` adds one hidden layer
+and is used in unit tests where a tiny trainable model is convenient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..autodiff.nn import Embedding, Linear
+from .base import TextClassifier
+
+__all__ = ["BagOfEmbeddingsClassifier", "MLPClassifier"]
+
+
+class BagOfEmbeddingsClassifier(TextClassifier):
+    """Logistic regression on mean-pooled (frozen) word embeddings."""
+
+    def __init__(self, embeddings: np.ndarray, num_classes: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        vocab_size, dim = embeddings.shape
+        self.num_classes = num_classes
+        self.embedding = Embedding(vocab_size, dim, pretrained=embeddings, trainable=False)
+        self.output = Linear(dim, num_classes, rng)
+
+    def _pooled(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        lengths = np.asarray(lengths)
+        embedded = self.embedding(tokens)
+        mask = (np.arange(tokens.shape[1])[None, :] < lengths[:, None]).astype(np.float64)
+        summed = (embedded * Tensor(mask[:, :, None])).sum(axis=1)
+        return summed * Tensor((1.0 / lengths.astype(np.float64))[:, None])
+
+    def logits(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
+        return self.output(self._pooled(tokens, lengths))
+
+
+class MLPClassifier(BagOfEmbeddingsClassifier):
+    """One-hidden-layer tanh MLP on mean-pooled embeddings."""
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        num_classes: int,
+        hidden: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(embeddings, num_classes, rng)
+        dim = embeddings.shape[1]
+        self.hidden_layer = Linear(dim, hidden, rng)
+        self.output = Linear(hidden, num_classes, rng)
+
+    def logits(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
+        return self.output(self.hidden_layer(self._pooled(tokens, lengths)).tanh())

@@ -1,0 +1,31 @@
+"""Learning from (single-source) noisy labels — the paper's §VIII transfer.
+
+The Discussion argues the Logic-LNCL idea carries over to the classic
+learning-from-noisy-labels setting, where each instance has *one* noisy
+label from an anonymous process instead of several crowd labels. A single
+noise source is exactly a one-annotator crowd, so the transfer is direct:
+
+* :func:`corrupt_labels` — inject class-conditional label noise;
+* :func:`as_single_source_crowd` — wrap noisy labels as a ``(I, 1)`` crowd
+  matrix;
+* :class:`NoisyLabelLogicLNCL` — Logic-LNCL on that crowd: the EM loop
+  estimates the 1×K×K noise-transition matrix (Eq. 12), infers per-instance
+  posteriors (Eq. 13), and distills logic rules exactly as before;
+* :func:`forward_correction_baseline` — the standard loss-correction
+  comparator (Patrini et al., 2017): train against ``T^T · p`` with the
+  known/estimated transition matrix.
+"""
+
+from .single_source import (
+    NoisyLabelLogicLNCL,
+    as_single_source_crowd,
+    corrupt_labels,
+    forward_correction_baseline,
+)
+
+__all__ = [
+    "corrupt_labels",
+    "as_single_source_crowd",
+    "NoisyLabelLogicLNCL",
+    "forward_correction_baseline",
+]

@@ -1,0 +1,21 @@
+"""Weak supervision via labeling functions (paper §VIII future-work
+direction, realized): LF outputs are crowd labels, so Logic-LNCL and every
+baseline run on programmatic supervision unchanged."""
+
+from .labeling_functions import (
+    ABSTAIN,
+    KeywordLF,
+    LabelingFunction,
+    NoisyOracleLF,
+    apply_labeling_functions,
+    covered_instances,
+)
+
+__all__ = [
+    "ABSTAIN",
+    "LabelingFunction",
+    "KeywordLF",
+    "NoisyOracleLF",
+    "apply_labeling_functions",
+    "covered_instances",
+]

@@ -1,0 +1,147 @@
+"""Programmatic weak supervision (the paper's §VIII extension).
+
+The paper notes that LNCL methods transfer to weak supervision, where the
+"annotators" are *labeling functions* (LFs) — small programs that either
+vote a label or abstain (Snorkel/Wrench style). Because an LF's outputs
+form exactly the sparse instance × source label matrix that
+:class:`~repro.crowd.CrowdLabelMatrix` models, Logic-LNCL runs on LF
+supervision unchanged: each LF gets a confusion matrix, Eq. 13 combines LF
+votes with the classifier, and the logic rules distill exactly as before.
+
+This module provides the LF abstraction plus two concrete families:
+
+* :class:`KeywordLF` — votes a class when any trigger token appears
+  (the canonical text LF);
+* :class:`NoisyOracleLF` — a synthetic program with configurable coverage
+  and accuracy, for controlled experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crowd.types import MISSING, CrowdLabelMatrix
+from ..data.datasets import TextClassificationDataset
+
+__all__ = ["ABSTAIN", "LabelingFunction", "KeywordLF", "NoisyOracleLF", "apply_labeling_functions"]
+
+ABSTAIN = MISSING
+
+
+class LabelingFunction:
+    """Base class: a named program mapping one instance to a vote.
+
+    Subclasses implement :meth:`vote`, returning a class id or
+    :data:`ABSTAIN`.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("labeling function needs a non-empty name")
+        self.name = name
+
+    def vote(self, tokens: np.ndarray, length: int) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class KeywordLF(LabelingFunction):
+    """Vote ``label`` when any trigger token id occurs; abstain otherwise."""
+
+    def __init__(self, name: str, trigger_ids, label: int) -> None:
+        super().__init__(name)
+        self.trigger_ids = frozenset(int(t) for t in trigger_ids)
+        if not self.trigger_ids:
+            raise ValueError("keyword LF needs at least one trigger token")
+        if label < 0:
+            raise ValueError("label must be a valid class id")
+        self.label = int(label)
+
+    def vote(self, tokens: np.ndarray, length: int) -> int:
+        window = tokens[:length]
+        for token in window:
+            if int(token) in self.trigger_ids:
+                return self.label
+        return ABSTAIN
+
+
+class NoisyOracleLF(LabelingFunction):
+    """Synthetic LF: fires on a fixed fraction of instances with fixed accuracy.
+
+    Votes are precomputed against the ground truth at construction time, so
+    the LF is a deterministic program thereafter (like a real LF would be).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        truth: np.ndarray,
+        num_classes: int,
+        coverage: float,
+        accuracy: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(name)
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        truth = np.asarray(truth)
+        fires = rng.random(truth.shape[0]) < coverage
+        correct = rng.random(truth.shape[0]) < accuracy
+        wrong = np.array(
+            [
+                (t + 1 + rng.integers(num_classes - 1)) % num_classes if num_classes > 1 else t
+                for t in truth
+            ]
+        )
+        votes = np.where(correct, truth, wrong)
+        self._votes = np.where(fires, votes, ABSTAIN)
+
+    def vote(self, tokens: np.ndarray, length: int) -> int:
+        raise TypeError(
+            "NoisyOracleLF votes are positional; use vote_at(instance_index)"
+        )
+
+    def vote_at(self, instance_index: int) -> int:
+        return int(self._votes[instance_index])
+
+
+def apply_labeling_functions(
+    lfs: list[LabelingFunction],
+    dataset: TextClassificationDataset,
+    require_full_coverage: bool = False,
+) -> CrowdLabelMatrix:
+    """Run every LF on every instance → a crowd-label matrix.
+
+    Each LF plays the role of one annotator; abstentions become missing
+    labels. Instances no LF covers keep an all-missing row (they fall back
+    to the classifier prediction inside Logic-LNCL's Eq. 13); pass
+    ``require_full_coverage=True`` to treat that as an error instead.
+    """
+    if not lfs:
+        raise ValueError("need at least one labeling function")
+    I = len(dataset)
+    labels = np.full((I, len(lfs)), MISSING, dtype=np.int64)
+    for j, lf in enumerate(lfs):
+        if isinstance(lf, NoisyOracleLF):
+            for i in range(I):
+                labels[i, j] = lf.vote_at(i)
+        else:
+            for i in range(I):
+                labels[i, j] = lf.vote(dataset.tokens[i], int(dataset.lengths[i]))
+    covered = (labels != MISSING).any(axis=1)
+    if require_full_coverage and not covered.all():
+        uncovered = int((~covered).sum())
+        raise ValueError(
+            f"{uncovered} instances received no LF vote; add broader LFs or "
+            "filter the dataset to covered instances first"
+        )
+    return CrowdLabelMatrix(labels, dataset.num_classes)
+
+
+def covered_instances(crowd: CrowdLabelMatrix) -> np.ndarray:
+    """Indices of instances that received at least one LF vote."""
+    return np.nonzero(crowd.observed_mask.any(axis=1))[0]

@@ -1,0 +1,48 @@
+"""Numerical gradient checking used across the autodiff test suite."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+def numerical_grad(fn: Callable[[], Tensor], parameter: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``parameter``."""
+    grad = np.zeros_like(parameter.data)
+    flat = parameter.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn().item()
+        flat[i] = original - eps
+        lower = fn().item()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def assert_grad_matches(
+    fn: Callable[[], Tensor],
+    parameters: list[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autodiff and numerical gradients agree for each parameter."""
+    for parameter in parameters:
+        parameter.zero_grad()
+    loss = fn()
+    loss.backward()
+    for parameter in parameters:
+        assert parameter.grad is not None, f"no gradient for {parameter!r}"
+        expected = numerical_grad(fn, parameter)
+        np.testing.assert_allclose(
+            parameter.grad,
+            expected,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for {parameter!r}",
+        )

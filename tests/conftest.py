@@ -1,0 +1,60 @@
+"""Shared fixtures: small crowd-labeled sentiment and NER tasks.
+
+Session-scoped so the (comparatively) expensive corpus + crowd simulation
+runs once. Tests must not mutate the fixtures; trainers that need a model
+build their own from the fixture's embeddings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    sample_annotator_pool,
+    sample_ner_pool,
+    simulate_classification_crowd,
+    simulate_ner_crowd,
+)
+from repro.data import (
+    NERCorpusConfig,
+    SentimentCorpusConfig,
+    make_ner_task,
+    make_sentiment_task,
+)
+
+
+@pytest.fixture(scope="session")
+def sentiment_task():
+    """Sentiment task with crowd labels attached to the training split."""
+    rng = np.random.default_rng(1234)
+    task = make_sentiment_task(
+        rng,
+        SentimentCorpusConfig(
+            num_train=400, num_dev=120, num_test=120, embedding_dim=24,
+            num_positive_words=30, num_negative_words=30, num_neutral_words=60,
+        ),
+    )
+    pool = sample_annotator_pool(rng, 12, 2)
+    task.train.crowd = simulate_classification_crowd(
+        rng, task.train.labels, pool, mean_labels_per_instance=5.0
+    )
+    task.annotator_pool = pool
+    return task
+
+
+@pytest.fixture(scope="session")
+def ner_task():
+    """NER task with token-level crowd labels on the training split."""
+    rng = np.random.default_rng(4321)
+    task = make_ner_task(
+        rng,
+        NERCorpusConfig(
+            num_train=150, num_dev=40, num_test=40, embedding_dim=24,
+            tokens_per_type=20, num_filler_words=40,
+        ),
+    )
+    pool = sample_ner_pool(rng, 8)
+    task.train.crowd = simulate_ner_crowd(
+        rng, task.train.tags, pool, mean_labels_per_instance=4.0
+    )
+    task.annotator_pool = pool
+    return task

@@ -1,0 +1,136 @@
+"""End-to-end tests for Logic-LNCL (sequence tagging / NER)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogicLNCLConfig, LogicLNCLSequenceTagger, constant
+from repro.data import CONLL_LABELS, label_index
+from repro.eval import span_f1_score
+from repro.logic import bio_transition_rules
+from repro.models import NERTagger, NERTaggerConfig
+
+IDX = label_index(CONLL_LABELS)
+
+
+def _config(epochs=3, **overrides):
+    defaults = dict(
+        epochs=epochs,
+        batch_size=32,
+        optimizer="adam",
+        learning_rate=1e-2,
+        lr_decay_every=None,
+        patience=5,
+        weighted_loss=True,
+        C=5.0,
+        imitation=constant(0.5),
+    )
+    defaults.update(overrides)
+    return LogicLNCLConfig(**defaults)
+
+
+def _model(task, seed=0):
+    return NERTagger(
+        task.embeddings,
+        NERTaggerConfig(conv_width=3, conv_features=64, gru_hidden=32),
+        np.random.default_rng(seed),
+    )
+
+
+def _rules():
+    return bio_transition_rules(CONLL_LABELS)
+
+
+class TestFitBasics:
+    def test_requires_crowd(self, ner_task):
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(1), np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            trainer.fit(ner_task.dev)
+
+    def test_posteriors_shapes(self, ner_task):
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(2), np.random.default_rng(0), rules=_rules()
+        )
+        trainer.fit(ner_task.train, dev=ner_task.dev)
+        assert len(trainer.qf_) == len(ner_task.train)
+        for qf, tags in zip(trainer.qf_, ner_task.train.tags):
+            assert qf.shape == (len(tags), 9)
+            np.testing.assert_allclose(qf.sum(axis=1), 1.0, atol=1e-9)
+        assert trainer.confusions_.shape == (8, 9, 9)
+
+    def test_rule_free_variant(self, ner_task):
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(2), np.random.default_rng(0), rules=None
+        )
+        history = trainer.fit(ner_task.train)
+        assert history["k"] == [0.0, 0.0]
+        for qa, qf in zip(trainer.qa_, trainer.qf_):
+            np.testing.assert_allclose(qa, qf)
+
+
+class TestRuleEffects:
+    def test_qb_suppresses_invalid_transitions(self, ner_task):
+        """After distillation, sentence-initial I-X mass must shrink."""
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(2), np.random.default_rng(0), rules=_rules()
+        )
+        trainer.fit(ner_task.train)
+        inside_ids = [IDX[name] for name in CONLL_LABELS if name.startswith("I-")]
+        qa_initial_mass = np.mean([qa[0, inside_ids].sum() for qa in trainer.qa_])
+        qb_initial_mass = np.mean([qb[0, inside_ids].sum() for qb in trainer.qb_])
+        assert qb_initial_mass <= qa_initial_mass + 1e-9
+
+    def test_teacher_decodes_valid_sequences_more_often(self, ner_task):
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(3), np.random.default_rng(0), rules=_rules()
+        )
+        trainer.fit(ner_task.train, dev=ner_task.dev)
+        test = ner_task.test
+
+        def invalid_transitions(sequences):
+            bad = 0
+            for seq in sequences:
+                previous = "O"
+                for tag in seq:
+                    name = CONLL_LABELS[int(tag)]
+                    if name.startswith("I-") and previous not in (
+                        f"B-{name[2:]}", name
+                    ):
+                        bad += 1
+                    previous = name
+            return bad
+
+        student_bad = invalid_transitions(trainer.predict_student(test.tokens, test.lengths))
+        teacher_bad = invalid_transitions(trainer.predict_teacher(test.tokens, test.lengths))
+        assert teacher_bad <= student_bad
+
+    def test_learns_better_than_chance(self, ner_task):
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(8), np.random.default_rng(0), rules=_rules()
+        )
+        trainer.fit(ner_task.train, dev=ner_task.dev)
+        test = ner_task.test
+        f1 = span_f1_score(test.tags, trainer.predict_teacher(test.tokens, test.lengths)).f1
+        assert f1 > 0.2
+
+    def test_inference_posterior_tracks_truth(self, ner_task):
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(4), np.random.default_rng(0), rules=_rules()
+        )
+        trainer.fit(ner_task.train, dev=ner_task.dev)
+        predictions = [qf.argmax(axis=1) for qf in trainer.inference_posterior()]
+        f1 = span_f1_score(ner_task.train.tags, predictions).f1
+        assert f1 > 0.4
+
+
+class TestEarlyStoppingSequence:
+    def test_best_restored(self, ner_task):
+        trainer = LogicLNCLSequenceTagger(
+            _model(ner_task), _config(4, patience=2), np.random.default_rng(0),
+            rules=_rules(),
+        )
+        history = trainer.fit(ner_task.train, dev=ner_task.dev)
+        dev = ner_task.dev
+        f1 = span_f1_score(dev.tags, trainer.predict_student(dev.tokens, dev.lengths)).f1
+        assert f1 == pytest.approx(history["best_dev_score"], abs=1e-9)

@@ -1,0 +1,202 @@
+"""Tests for the classification and NER crowd simulators."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    AnnotatorPool,
+    NERAnnotatorProfile,
+    sample_annotator_pool,
+    sample_confusion_matrix,
+    sample_ner_pool,
+    simulate_classification_crowd,
+    simulate_ner_crowd,
+)
+from repro.crowd.ner_simulation import corrupt_tags
+from repro.data import CONLL_LABELS, label_index, spans_from_bio
+
+IDX = label_index(CONLL_LABELS)
+
+
+class TestSampleConfusionMatrix:
+    def test_rows_are_distributions(self):
+        rng = np.random.default_rng(0)
+        matrix = sample_confusion_matrix(rng, 0.8, 4)
+        np.testing.assert_allclose(matrix.sum(axis=1), np.ones(4), atol=1e-12)
+        assert (matrix >= 0).all()
+
+    def test_diagonal_tracks_accuracy(self):
+        rng = np.random.default_rng(0)
+        diagonals = [np.diag(sample_confusion_matrix(rng, 0.9, 3)).mean() for _ in range(200)]
+        assert abs(np.mean(diagonals) - 0.9) < 0.05
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_confusion_matrix(rng, 1.0, 3)
+        with pytest.raises(ValueError):
+            sample_confusion_matrix(rng, 0.5, 1)
+
+
+class TestAnnotatorPool:
+    def test_pool_shapes(self):
+        pool = sample_annotator_pool(np.random.default_rng(0), 30, 2)
+        assert pool.num_annotators == 30
+        assert pool.num_classes == 2
+        assert pool.accuracies().shape == (30,)
+
+    def test_quality_heterogeneous(self):
+        pool = sample_annotator_pool(np.random.default_rng(0), 200, 2)
+        accuracies = pool.accuracies()
+        # The mixture must produce both spammers and experts (Fig. 4b).
+        assert accuracies.min() < 0.6
+        assert accuracies.max() > 0.9
+        assert 0.65 < np.median(accuracies) < 0.9
+
+    def test_activity_heavy_tailed(self):
+        pool = sample_annotator_pool(np.random.default_rng(0), 100, 2)
+        activity = np.sort(pool.activity)[::-1]
+        assert activity[0] / activity[-1] > 20  # orders of magnitude spread
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_annotator_pool(np.random.default_rng(0), 0, 2)
+        with pytest.raises(ValueError):
+            AnnotatorPool(np.ones((2, 2, 2)) / 2, np.array([1.0]))
+        with pytest.raises(ValueError):
+            AnnotatorPool(np.ones((1, 2, 2)), np.array([1.0]))  # rows don't sum to 1
+
+
+class TestSimulateClassificationCrowd:
+    def _run(self, seed=0, I=300, J=40, mean=5.0):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 2, size=I)
+        pool = sample_annotator_pool(rng, J, 2)
+        crowd = simulate_classification_crowd(rng, truth, pool, mean_labels_per_instance=mean)
+        return truth, pool, crowd
+
+    def test_shape_and_redundancy(self):
+        truth, pool, crowd = self._run()
+        assert crowd.num_instances == 300
+        assert crowd.num_annotators == 40
+        counts = crowd.annotations_per_instance()
+        assert counts.min() >= 1
+        assert abs(counts.mean() - 5.0) < 0.6
+
+    def test_labels_correlate_with_truth(self):
+        truth, pool, crowd = self._run()
+        observed = crowd.observed_mask
+        rows, cols = np.nonzero(observed)
+        agreement = (crowd.labels[rows, cols] == truth[rows]).mean()
+        assert agreement > 0.65  # the pool skews competent
+
+    def test_good_annotators_beat_spammers(self):
+        truth, pool, crowd = self._run(I=1000, J=20, mean=8.0)
+        accuracies = pool.accuracies()
+        best, worst = np.argmax(accuracies), np.argmin(accuracies)
+        empirical = []
+        for j in (best, worst):
+            mask = crowd.observed_mask[:, j]
+            if mask.sum() < 10:
+                pytest.skip("annotator too inactive in this draw")
+            empirical.append((crowd.labels[mask, j] == truth[mask]).mean())
+        assert empirical[0] > empirical[1]
+
+    def test_mean_below_minimum_rejected(self):
+        rng = np.random.default_rng(0)
+        pool = sample_annotator_pool(rng, 5, 2)
+        with pytest.raises(ValueError):
+            simulate_classification_crowd(rng, np.zeros(3, dtype=int), pool, 0.5, 1)
+
+    def test_truth_range_validated(self):
+        rng = np.random.default_rng(0)
+        pool = sample_annotator_pool(rng, 5, 2)
+        with pytest.raises(ValueError):
+            simulate_classification_crowd(rng, np.array([0, 7]), pool)
+
+
+class TestNERProfileAndPool:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            NERAnnotatorProfile(1.5, 0, 0, 0)
+
+    def test_pool_sampling(self):
+        pool = sample_ner_pool(np.random.default_rng(0), 47)
+        assert pool.num_annotators == 47
+        ignore_rates = [p.ignore_rate for p in pool.profiles]
+        assert min(ignore_rates) < 0.15
+        assert max(ignore_rates) > 0.4  # both experts and poor annotators
+
+
+class TestCorruptTags:
+    def _gold(self):
+        # "w w B-PER I-PER w B-ORG I-ORG I-ORG w"
+        return np.array(
+            [IDX["O"], IDX["O"], IDX["B-PER"], IDX["I-PER"], IDX["O"],
+             IDX["B-ORG"], IDX["I-ORG"], IDX["I-ORG"], IDX["O"]]
+        )
+
+    def test_perfect_annotator_copies(self):
+        profile = NERAnnotatorProfile(0, 0, 0, 0)
+        out = corrupt_tags(np.random.default_rng(0), self._gold(), profile)
+        np.testing.assert_array_equal(out, self._gold())
+
+    def test_ignore_error_removes_entities(self):
+        profile = NERAnnotatorProfile(1.0, 0, 0, 0)
+        out = corrupt_tags(np.random.default_rng(0), self._gold(), profile)
+        assert spans_from_bio(out) == []
+
+    def test_type_error_changes_type_not_span(self):
+        profile = NERAnnotatorProfile(0, 0, 1.0, 0)
+        out = corrupt_tags(np.random.default_rng(0), self._gold(), profile)
+        spans = spans_from_bio(out)
+        boundaries = {(start, end) for _, start, end in spans}
+        assert boundaries == {(2, 4), (5, 8)}
+        types = {entity for entity, _, _ in spans}
+        assert "PER" not in types or "ORG" not in types
+
+    def test_boundary_error_keeps_type(self):
+        profile = NERAnnotatorProfile(0, 1.0, 0, 0)
+        out = corrupt_tags(np.random.default_rng(3), self._gold(), profile)
+        types = [entity for entity, _, _ in spans_from_bio(out)]
+        assert sorted(types) == ["ORG", "PER"]
+
+    def test_token_noise_can_break_bio(self):
+        profile = NERAnnotatorProfile(0, 0, 0, 1.0)
+        out = corrupt_tags(np.random.default_rng(0), self._gold(), profile)
+        assert not np.array_equal(out, self._gold())
+
+
+class TestSimulateNERCrowd:
+    def test_structure(self):
+        rng = np.random.default_rng(0)
+        tags = [np.array([IDX["O"], IDX["B-PER"], IDX["I-PER"]])] * 50
+        pool = sample_ner_pool(rng, 10)
+        crowd = simulate_ner_crowd(rng, tags, pool, mean_labels_per_instance=3.0)
+        assert crowd.num_instances == 50
+        assert crowd.num_annotators == 10
+        counts = crowd.annotations_per_instance()
+        assert counts.min() >= 1
+        assert abs(counts.mean() - 3.0) < 0.7
+
+    def test_quality_spread_matches_paper_band(self):
+        """Per-annotator F1 should span a wide band like 17.6%–89.1%."""
+        rng = np.random.default_rng(1)
+        from repro.data import NERCorpusConfig, make_ner_task
+
+        task = make_ner_task(rng, NERCorpusConfig(num_train=150, num_dev=10, num_test=10, embedding_dim=8))
+        pool = sample_ner_pool(rng, 15)
+        crowd = simulate_ner_crowd(rng, task.train.tags, pool, mean_labels_per_instance=5.0)
+        from repro.crowd import sequence_annotator_report
+
+        report = sequence_annotator_report(crowd, task.train.tags)
+        active = report.counts >= 5
+        quality = report.quality[active]
+        assert quality.max() > 0.75
+        assert quality.min() < 0.55
+
+    def test_mean_validation(self):
+        rng = np.random.default_rng(0)
+        pool = sample_ner_pool(rng, 3)
+        with pytest.raises(ValueError):
+            simulate_ner_crowd(rng, [np.array([0])], pool, mean_labels_per_instance=0.2)

@@ -1,0 +1,128 @@
+"""Tests for crowd-label containers."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
+
+M = MISSING
+
+
+class TestCrowdLabelMatrix:
+    def _tiny(self):
+        labels = np.array(
+            [
+                [0, 1, M],
+                [1, 1, 1],
+                [M, M, 0],
+            ]
+        )
+        return CrowdLabelMatrix(labels, num_classes=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrowdLabelMatrix(np.array([0, 1]), 2)  # not 2-D
+        with pytest.raises(TypeError):
+            CrowdLabelMatrix(np.array([[0.5]]), 2)
+        with pytest.raises(ValueError):
+            CrowdLabelMatrix(np.array([[5]]), 2)  # out of range
+        with pytest.raises(ValueError):
+            CrowdLabelMatrix(np.array([[0]]), 1)  # too few classes
+
+    def test_counts(self):
+        crowd = self._tiny()
+        np.testing.assert_array_equal(crowd.annotations_per_instance(), [2, 3, 1])
+        np.testing.assert_array_equal(crowd.annotations_per_annotator(), [2, 2, 2])
+        assert crowd.total_annotations() == 6
+
+    def test_vote_counts(self):
+        crowd = self._tiny()
+        np.testing.assert_array_equal(crowd.vote_counts(), [[1, 1], [0, 3], [1, 0]])
+
+    def test_one_hot(self):
+        one_hot = self._tiny().one_hot()
+        assert one_hot.shape == (3, 3, 2)
+        np.testing.assert_allclose(one_hot[0, 0], [1, 0])
+        np.testing.assert_allclose(one_hot[0, 2], [0, 0])  # missing
+
+    def test_subset(self):
+        sub = self._tiny().subset(np.array([2]))
+        assert sub.num_instances == 1
+        np.testing.assert_array_equal(sub.labels[0], [M, M, 0])
+
+    def test_annotator_confusion(self):
+        crowd = self._tiny()
+        truth = np.array([0, 1, 0])
+        confusion = crowd.annotator_confusion(truth, annotator=0)
+        # Annotator 0 labeled instance 0 (true 0 → said 0) and 1 (true 1 → said 1).
+        np.testing.assert_allclose(confusion, np.eye(2))
+
+    def test_annotator_confusion_unobserved_row_uniform(self):
+        crowd = CrowdLabelMatrix(np.array([[0], [M]]), 2)
+        confusion = crowd.annotator_confusion(np.array([0, 1]), 0)
+        np.testing.assert_allclose(confusion[1], [0.5, 0.5])
+
+    def test_paper_convention_roundtrip(self):
+        paper = np.array([[1, 0, 2], [0, 2, 1]])
+        crowd = CrowdLabelMatrix.from_paper_convention(paper, 2)
+        np.testing.assert_array_equal(crowd.labels, [[0, M, 1], [M, 1, 0]])
+        np.testing.assert_array_equal(crowd.to_paper_convention(), paper)
+
+
+class TestSequenceCrowdLabels:
+    def _tiny(self):
+        return SequenceCrowdLabels(
+            labels=[
+                np.array([[0, M], [1, M]]),          # 2 tokens, annotator 0 only
+                np.array([[0, 0], [1, 2], [2, 2]]),  # 3 tokens, both annotators
+            ],
+            num_classes=3,
+            num_annotators=2,
+        )
+
+    def test_validation_partial_column_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceCrowdLabels(
+                labels=[np.array([[0, M], [M, M]])],  # annotator 0 labeled 1 of 2
+                num_classes=2,
+                num_annotators=2,
+            )
+
+    def test_validation_out_of_range(self):
+        with pytest.raises(ValueError):
+            SequenceCrowdLabels([np.array([[9]])], num_classes=2, num_annotators=1)
+
+    def test_validation_shape(self):
+        with pytest.raises(ValueError):
+            SequenceCrowdLabels([np.zeros((2,), dtype=int)], num_classes=2, num_annotators=1)
+
+    def test_annotators_of(self):
+        crowd = self._tiny()
+        np.testing.assert_array_equal(crowd.annotators_of(0), [0])
+        np.testing.assert_array_equal(crowd.annotators_of(1), [0, 1])
+
+    def test_counts(self):
+        crowd = self._tiny()
+        np.testing.assert_array_equal(crowd.annotations_per_instance(), [1, 2])
+        np.testing.assert_array_equal(crowd.annotations_per_annotator(), [2, 1])
+
+    def test_token_vote_counts(self):
+        crowd = self._tiny()
+        votes = crowd.token_vote_counts(1)
+        np.testing.assert_array_equal(votes, [[2, 0, 0], [0, 1, 1], [0, 0, 2]])
+
+    def test_subset(self):
+        sub = self._tiny().subset(np.array([1]))
+        assert sub.num_instances == 1
+        assert sub.labels[0].shape == (3, 2)
+
+    def test_annotator_confusion(self):
+        crowd = self._tiny()
+        truth = [np.array([0, 1]), np.array([0, 1, 2])]
+        confusion = crowd.annotator_confusion(truth, 0)
+        np.testing.assert_allclose(confusion, np.eye(3))
+        confusion1 = crowd.annotator_confusion(truth, 1)
+        # Annotator 1 labeled only sentence 1: true (0,1,2) → said (0,2,2).
+        np.testing.assert_allclose(confusion1[0], [1, 0, 0])
+        np.testing.assert_allclose(confusion1[1], [0, 0, 1])
+        np.testing.assert_allclose(confusion1[2], [0, 0, 1])

@@ -1,0 +1,168 @@
+"""Tests for real-dataset file I/O (CoNLL, crowd files, sentiment TSV)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import MISSING
+from repro.data import CONLL_LABELS
+from repro.data.io import (
+    read_conll,
+    read_crowd_conll,
+    read_crowd_csv,
+    read_sentiment_tsv,
+    write_conll,
+    write_crowd_csv,
+)
+
+CONLL_TEXT = """\
+John\tB-PER
+Smith\tI-PER
+visited\tO
+Paris\tB-LOC
+
+EU\tB-ORG
+rejects\tO
+"""
+
+
+class TestReadConll:
+    def test_parses_sentences(self, tmp_path):
+        path = tmp_path / "gold.conll"
+        path.write_text(CONLL_TEXT)
+        ds = read_conll(path)
+        assert len(ds) == 2
+        assert ds.lengths.tolist() == [4, 2]
+        assert [CONLL_LABELS[t] for t in ds.tags[0]] == ["B-PER", "I-PER", "O", "B-LOC"]
+
+    def test_vocab_roundtrip_and_unk(self, tmp_path):
+        path = tmp_path / "gold.conll"
+        path.write_text(CONLL_TEXT)
+        train = read_conll(path)
+        other = tmp_path / "dev.conll"
+        other.write_text("John\tB-PER\nBerlin\tB-LOC\n")
+        dev = read_conll(other, vocab=train.vocab, grow_vocab=False)
+        assert dev.tokens[0, 0] == train.vocab.id_of("John")
+        assert dev.tokens[0, 1] == train.vocab.unk_id  # Berlin unseen
+
+    def test_unknown_tag_rejected(self, tmp_path):
+        path = tmp_path / "bad.conll"
+        path.write_text("word\tB-XYZ\n")
+        with pytest.raises(ValueError):
+            read_conll(path)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.conll"
+        path.write_text("loneword\n")
+        with pytest.raises(ValueError):
+            read_conll(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.conll"
+        path.write_text("\n\n")
+        with pytest.raises(ValueError):
+            read_conll(path)
+
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "gold.conll"
+        path.write_text(CONLL_TEXT)
+        ds = read_conll(path)
+        out = tmp_path / "copy.conll"
+        write_conll(ds, out)
+        again = read_conll(out)
+        np.testing.assert_array_equal(ds.lengths, again.lengths)
+        for a, b in zip(ds.tags, again.tags):
+            np.testing.assert_array_equal(a, b)
+
+
+CROWD_CONLL = """\
+John\tB-PER\t?\tB-LOC
+visited\tO\t?\tO
+
+Paris\tB-LOC\tB-LOC\t?
+"""
+
+
+class TestReadCrowdConll:
+    def test_parses_annotator_columns(self, tmp_path):
+        path = tmp_path / "crowd.conll"
+        path.write_text(CROWD_CONLL)
+        crowd = read_crowd_conll(path)
+        assert crowd.num_instances == 2
+        assert crowd.num_annotators == 3
+        np.testing.assert_array_equal(crowd.annotators_of(0), [0, 2])
+        np.testing.assert_array_equal(crowd.annotators_of(1), [0, 1])
+        assert crowd.labels[0][0, 1] == MISSING
+
+    def test_inconsistent_columns_rejected(self, tmp_path):
+        path = tmp_path / "crowd.conll"
+        path.write_text("a\tO\tO\nb\tO\n")
+        with pytest.raises(ValueError):
+            read_crowd_conll(path)
+
+    def test_unknown_tag_rejected(self, tmp_path):
+        path = tmp_path / "crowd.conll"
+        path.write_text("a\tB-XYZ\n")
+        with pytest.raises(ValueError):
+            read_crowd_conll(path)
+
+    def test_partial_sentence_annotation_rejected(self, tmp_path):
+        # Annotator labels only one token of a two-token sentence.
+        path = tmp_path / "crowd.conll"
+        path.write_text("a\tO\nb\t?\n")
+        with pytest.raises(ValueError):
+            read_crowd_conll(path)
+
+
+class TestSentimentTSV:
+    def test_parses_and_encodes(self, tmp_path):
+        path = tmp_path / "sent.tsv"
+        path.write_text("great fun movie\t1\nterrible waste\t0\n")
+        ds = read_sentiment_tsv(path)
+        assert len(ds) == 2
+        assert ds.labels.tolist() == [1, 0]
+        assert ds.vocab.id_of("great") != ds.vocab.unk_id
+
+    def test_label_range_checked(self, tmp_path):
+        path = tmp_path / "sent.tsv"
+        path.write_text("text\t5\n")
+        with pytest.raises(ValueError):
+            read_sentiment_tsv(path)
+
+    def test_missing_tab_rejected(self, tmp_path):
+        path = tmp_path / "sent.tsv"
+        path.write_text("no label here\n")
+        with pytest.raises(ValueError):
+            read_sentiment_tsv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "sent.tsv"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            read_sentiment_tsv(path)
+
+
+class TestCrowdCSV:
+    def test_roundtrip(self, tmp_path, sentiment_task):
+        crowd = sentiment_task.train.crowd
+        path = tmp_path / "crowd.csv"
+        write_crowd_csv(crowd, path)
+        again = read_crowd_csv(path, num_classes=crowd.num_classes)
+        np.testing.assert_array_equal(crowd.labels, again.labels)
+
+    def test_ragged_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,1\n0\n")
+        with pytest.raises(ValueError):
+            read_crowd_csv(path, 2)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,x\n")
+        with pytest.raises(ValueError):
+            read_crowd_csv(path, 2)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_crowd_csv(path, 2)

@@ -1,0 +1,139 @@
+"""Tests for Vocabulary and the BIO span utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CONLL_LABELS,
+    PAD_TOKEN,
+    UNK_TOKEN,
+    Vocabulary,
+    bio_from_spans,
+    label_index,
+    spans_from_bio,
+)
+
+IDX = label_index(CONLL_LABELS)
+
+
+class TestVocabulary:
+    def test_specials_reserved(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.token_of(0) == PAD_TOKEN
+        assert vocab.token_of(1) == UNK_TOKEN
+        assert len(vocab) == 2
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("hello")
+        second = vocab.add("hello")
+        assert first == second
+        assert len(vocab) == 3
+
+    def test_add_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary().add("")
+
+    def test_unknown_resolves_to_unk(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.id_of("zzz") == vocab.unk_id
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary(["the", "cat"])
+        ids = vocab.encode(["the", "cat", "the"])
+        assert vocab.decode(ids) == ["the", "cat", "the"]
+
+    def test_contains(self):
+        vocab = Vocabulary(["x"])
+        assert "x" in vocab
+        assert "y" not in vocab
+
+    def test_token_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary().token_of(99)
+
+    def test_constructor_seeds_tokens(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.id_of("a") == 2
+        assert vocab.id_of("b") == 3
+
+
+class TestSpansFromBio:
+    def test_empty_sentence(self):
+        assert spans_from_bio(np.array([], dtype=int)) == []
+
+    def test_all_outside(self):
+        tags = np.array([IDX["O"]] * 4)
+        assert spans_from_bio(tags) == []
+
+    def test_single_entity(self):
+        tags = np.array([IDX["O"], IDX["B-PER"], IDX["I-PER"], IDX["O"]])
+        assert spans_from_bio(tags) == [("PER", 1, 3)]
+
+    def test_entity_at_end(self):
+        tags = np.array([IDX["O"], IDX["B-LOC"]])
+        assert spans_from_bio(tags) == [("LOC", 1, 2)]
+
+    def test_adjacent_entities_with_b(self):
+        tags = np.array([IDX["B-PER"], IDX["B-PER"]])
+        assert spans_from_bio(tags) == [("PER", 0, 1), ("PER", 1, 2)]
+
+    def test_bare_inside_starts_span(self):
+        # conlleval-style repair: bare I-ORG becomes a span.
+        tags = np.array([IDX["O"], IDX["I-ORG"], IDX["I-ORG"]])
+        assert spans_from_bio(tags) == [("ORG", 1, 3)]
+
+    def test_type_switch_splits_span(self):
+        tags = np.array([IDX["B-PER"], IDX["I-LOC"]])
+        assert spans_from_bio(tags) == [("PER", 0, 1), ("LOC", 1, 2)]
+
+    def test_multiple_types(self):
+        tags = np.array(
+            [IDX["B-ORG"], IDX["I-ORG"], IDX["O"], IDX["B-MISC"], IDX["O"], IDX["B-LOC"], IDX["I-LOC"]]
+        )
+        assert spans_from_bio(tags) == [("ORG", 0, 2), ("MISC", 3, 4), ("LOC", 5, 7)]
+
+
+class TestBioFromSpans:
+    def test_renders_single_span(self):
+        tags = bio_from_spans([("PER", 1, 3)], 4)
+        np.testing.assert_array_equal(
+            tags, [IDX["O"], IDX["B-PER"], IDX["I-PER"], IDX["O"]]
+        )
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            bio_from_spans([("PER", 2, 2)], 4)
+        with pytest.raises(ValueError):
+            bio_from_spans([("PER", 0, 9)], 4)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KeyError):
+            bio_from_spans([("XYZ", 0, 1)], 2)
+
+    def test_later_spans_overwrite(self):
+        tags = bio_from_spans([("PER", 0, 3), ("LOC", 1, 2)], 3)
+        assert ("LOC", 1, 2) in spans_from_bio(tags)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_property_roundtrip_on_wellformed(self, seed):
+        """spans→BIO→spans is the identity for non-overlapping spans."""
+        rng = np.random.default_rng(seed)
+        length = int(rng.integers(5, 20))
+        spans = []
+        cursor = 0
+        while cursor < length - 1:
+            if rng.random() < 0.5:
+                span_len = int(rng.integers(1, min(4, length - cursor) + 1))
+                entity = ["PER", "LOC", "ORG", "MISC"][rng.integers(4)]
+                spans.append((entity, cursor, cursor + span_len))
+                cursor += span_len + 1  # gap avoids adjacent same-type merging
+            else:
+                cursor += 1
+        tags = bio_from_spans(spans, length)
+        assert spans_from_bio(tags) == spans

@@ -1,0 +1,186 @@
+"""Integration tests: the full pipeline across package boundaries.
+
+These tests intentionally cross every layer — corpus generation → crowd
+simulation → training → both predictors → evaluation — and assert the
+relationships the paper's headline claims rest on, at test-suite scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TrainerConfig, TwoStageClassifier, TwoStageSequenceTagger
+from repro.core import (
+    LogicLNCLClassifier,
+    LogicLNCLConfig,
+    LogicLNCLSequenceTagger,
+    constant,
+    exponential_ramp,
+)
+from repro.data import CONLL_LABELS
+from repro.eval import accuracy, posterior_accuracy, span_f1_score
+from repro.inference import MajorityVote, TokenLevelInference, majority_vote_posterior
+from repro.logic import ButRule, bio_transition_rules
+from repro.models import NERTagger, NERTaggerConfig, TextCNN, TextCNNConfig
+
+
+def _cls_lncl_config(epochs=8):
+    return LogicLNCLConfig(
+        epochs=epochs, batch_size=32, optimizer="adadelta", learning_rate=1.0,
+        lr_decay_every=None, patience=4, C=5.0, imitation=exponential_ramp(1.0, 0.7),
+    )
+
+
+def _seq_lncl_config(epochs=8):
+    return LogicLNCLConfig(
+        epochs=epochs, batch_size=32, optimizer="adam", learning_rate=1e-2,
+        lr_decay_every=None, patience=4, weighted_loss=True, C=5.0,
+        imitation=constant(0.5),
+    )
+
+
+class TestSentimentPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self, sentiment_task):
+        task = sentiment_task
+        model = TextCNN(
+            task.embeddings, TextCNNConfig(filter_windows=(2, 3), feature_maps=12),
+            np.random.default_rng(0),
+        )
+        trainer = LogicLNCLClassifier(
+            model, _cls_lncl_config(), np.random.default_rng(1), rule=ButRule(task.but_id)
+        )
+        trainer.fit(task.train, dev=task.dev)
+        return trainer
+
+    def test_inference_beats_majority_vote(self, sentiment_task, trained):
+        mv = posterior_accuracy(
+            sentiment_task.train.labels, majority_vote_posterior(sentiment_task.train.crowd)
+        )
+        ours = posterior_accuracy(sentiment_task.train.labels, trained.inference_posterior())
+        assert ours >= mv - 0.01
+
+    def test_teacher_not_worse_than_student_on_average(self, sentiment_task, trained):
+        test = sentiment_task.test
+        student = accuracy(test.labels, trained.predict_student(test.tokens, test.lengths))
+        teacher = accuracy(test.labels, trained.predict_teacher(test.tokens, test.lengths))
+        assert teacher >= student - 0.03
+
+    def test_beats_two_stage_baseline_on_inference(self, sentiment_task, trained):
+        baseline = TwoStageClassifier(
+            TextCNN(
+                sentiment_task.embeddings,
+                TextCNNConfig(filter_windows=(2, 3), feature_maps=12),
+                np.random.default_rng(0),
+            ),
+            MajorityVote(),
+            TrainerConfig(epochs=8, batch_size=32, lr_decay_every=None, patience=4),
+            np.random.default_rng(1),
+        )
+        baseline.fit(sentiment_task.train, sentiment_task.dev)
+        base_inf = posterior_accuracy(
+            sentiment_task.train.labels, baseline.inference_posterior()
+        )
+        ours_inf = posterior_accuracy(
+            sentiment_task.train.labels, trained.inference_posterior()
+        )
+        assert ours_inf >= base_inf - 0.01
+
+    def test_posteriors_consistent_with_mixture(self, trained):
+        """qf = (1-k)·qa + k·qb must lie between qa and qb componentwise."""
+        low = np.minimum(trained.qa_, trained.qb_)
+        high = np.maximum(trained.qa_, trained.qb_)
+        assert np.all(trained.qf_ >= low - 1e-9)
+        assert np.all(trained.qf_ <= high + 1e-9)
+
+    def test_confusions_are_valid_distributions(self, trained):
+        np.testing.assert_allclose(trained.confusions_.sum(axis=2), 1.0, atol=1e-9)
+        assert np.all(trained.confusions_ >= 0)
+
+
+class TestNERPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self, ner_task):
+        model = NERTagger(
+            ner_task.embeddings, NERTaggerConfig(conv_width=3, conv_features=64, gru_hidden=32),
+            np.random.default_rng(0),
+        )
+        trainer = LogicLNCLSequenceTagger(
+            model, _seq_lncl_config(), np.random.default_rng(1),
+            rules=bio_transition_rules(CONLL_LABELS),
+        )
+        trainer.fit(ner_task.train, dev=ner_task.dev)
+        return trainer
+
+    def test_inference_beats_token_mv(self, ner_task, trained):
+        mv = TokenLevelInference(MajorityVote()).infer(ner_task.train.crowd)
+        mv_f1 = span_f1_score(ner_task.train.tags, mv.hard_labels()).f1
+        ours_f1 = span_f1_score(
+            ner_task.train.tags, [q.argmax(axis=1) for q in trained.inference_posterior()]
+        ).f1
+        assert ours_f1 >= mv_f1 - 0.01
+
+    def test_teacher_produces_fewer_invalid_transitions(self, ner_task, trained):
+        test = ner_task.test
+
+        def invalid(sequences):
+            bad = 0
+            for seq in sequences:
+                previous = "O"
+                for tag in seq:
+                    name = CONLL_LABELS[int(tag)]
+                    if name.startswith("I-") and previous not in (f"B-{name[2:]}", name):
+                        bad += 1
+                    previous = name
+            return bad
+
+        assert invalid(trained.predict_teacher(test.tokens, test.lengths)) <= invalid(
+            trained.predict_student(test.tokens, test.lengths)
+        )
+
+    def test_beats_two_stage_on_prediction(self, ner_task, trained):
+        baseline = TwoStageSequenceTagger(
+            NERTagger(
+                ner_task.embeddings,
+                NERTaggerConfig(conv_width=3, conv_features=64, gru_hidden=32),
+                np.random.default_rng(0),
+            ),
+            TokenLevelInference(MajorityVote()),
+            TrainerConfig(epochs=8, batch_size=32, optimizer="adam", learning_rate=1e-2,
+                          lr_decay_every=None, patience=4),
+            np.random.default_rng(1),
+        )
+        baseline.fit(ner_task.train, ner_task.dev)
+        test = ner_task.test
+        base = span_f1_score(test.tags, baseline.predict(test.tokens, test.lengths)).f1
+        ours = span_f1_score(test.tags, trained.predict_student(test.tokens, test.lengths)).f1
+        # One-stage EM should not lose badly to MV two-stage (paper: it wins).
+        assert ours >= base - 0.05
+
+    def test_qb_respects_transition_rules_globally(self, trained):
+        """In qb, mass on sentence-initial I-X must be (near) zero."""
+        inside_ids = [i for i, name in enumerate(CONLL_LABELS) if name.startswith("I-")]
+        initial_mass = np.mean([qb[0, inside_ids].sum() for qb in trained.qb_])
+        assert initial_mass < 0.05
+
+
+class TestDeterminism:
+    def test_same_seeds_same_results(self, sentiment_task):
+        """The whole stack is driven by explicit RNGs: exact reproducibility."""
+
+        def run():
+            model = TextCNN(
+                sentiment_task.embeddings,
+                TextCNNConfig(filter_windows=(2,), feature_maps=6),
+                np.random.default_rng(3),
+            )
+            trainer = LogicLNCLClassifier(
+                model, _cls_lncl_config(epochs=3), np.random.default_rng(4),
+                rule=ButRule(sentiment_task.but_id),
+            )
+            trainer.fit(sentiment_task.train)
+            return trainer.qf_.copy(), trainer.model.output.weight.data.copy()
+
+        qf_a, weight_a = run()
+        qf_b, weight_b = run()
+        np.testing.assert_array_equal(qf_a, qf_b)
+        np.testing.assert_array_equal(weight_a, weight_b)

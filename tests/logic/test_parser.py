@@ -1,0 +1,108 @@
+"""Tests for the rule-text DSL parser."""
+
+import pytest
+
+from repro.logic import And, Atom, Implies, Not, Or
+from repro.logic.parser import RuleSyntaxError, parse_formula, parse_rule
+
+
+class TestParseFormula:
+    def test_single_atom(self):
+        formula = parse_formula("rain")
+        assert isinstance(formula, Atom)
+        assert formula.name == "rain"
+
+    def test_atom_with_arguments_keeps_surface_text(self):
+        formula = parse_formula("votesFor(A,P)")
+        assert isinstance(formula, Atom)
+        assert formula.name == "votesFor(A,P)"
+
+    def test_paper_voting_rule(self):
+        formula = parse_formula("friend(B,A) & votesFor(A,P) >> votesFor(B,P)")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.left, And)
+        truth = formula.truth(
+            {"friend(B,A)": 1.0, "votesFor(A,P)": 0.9, "votesFor(B,P)": 0.4}
+        )
+        assert truth == pytest.approx(0.5)
+
+    def test_negation(self):
+        formula = parse_formula("~wet")
+        assert isinstance(formula, Not)
+        assert formula.truth({"wet": 0.3}) == pytest.approx(0.7)
+
+    def test_precedence_not_over_and_over_or(self):
+        formula = parse_formula("~a & b | c")
+        # Parses as ((~a & b) | c).
+        assert isinstance(formula, Or)
+        assert isinstance(formula.left, And)
+        assert isinstance(formula.left.left, Not)
+
+    def test_parentheses_override_precedence(self):
+        formula = parse_formula("~(a | b)")
+        assert isinstance(formula, Not)
+        assert isinstance(formula.operand, Or)
+
+    def test_implication_right_associative(self):
+        formula = parse_formula("a >> b >> c")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+        assert isinstance(formula.left, Atom)
+
+    def test_chained_conjunction(self):
+        formula = parse_formula("a & b & c")
+        assert formula.atoms() == {"a", "b", "c"}
+        assert formula.truth({"a": 1.0, "b": 1.0, "c": 0.4}) == pytest.approx(0.4)
+
+    def test_whitespace_insensitive(self):
+        a = parse_formula("a&b>>c")
+        b = parse_formula("  a  &  b  >>  c  ")
+        assert repr(a) == repr(b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_formula("   ")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_formula("(a & b")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_formula("a b")
+
+    def test_dangling_operator_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_formula("a &")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_formula("a @ b")
+
+
+class TestParseRule:
+    def test_builds_weighted_rule(self):
+        rule = parse_rule("a >> b", weight=0.8)
+        assert rule.weight == 0.8
+        assert rule.name == "a >> b"
+        assert rule.value({"a": 1.0, "b": 0.25}) == pytest.approx(0.25)
+
+    def test_custom_name(self):
+        rule = parse_rule("a >> b", name="my-rule")
+        assert rule.name == "my-rule"
+
+    def test_weight_validated(self):
+        with pytest.raises(ValueError):
+            parse_rule("a >> b", weight=2.0)
+
+    def test_roundtrip_with_engine_semantics(self):
+        """DSL-built and hand-built formulas agree on all 0/1 corners."""
+        from repro.logic import Atom as A
+
+        dsl = parse_formula("(a & ~b) >> c")
+        manual = (A("a") & ~A("b")) >> A("c")
+        for a in (0.0, 1.0):
+            for b in (0.0, 1.0):
+                for c in (0.0, 1.0):
+                    interp = {"a": a, "b": b, "c": c}
+                    assert dsl.truth(interp) == manual.truth(interp)

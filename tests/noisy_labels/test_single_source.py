@@ -1,0 +1,144 @@
+"""Tests for the single-source noisy-label transfer (§VIII)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.baselines import TrainerConfig
+from repro.core import LogicLNCLConfig, constant
+from repro.eval import accuracy
+from repro.logic import ButRule
+from repro.models import TextCNN, TextCNNConfig
+from repro.noisy_labels import (
+    NoisyLabelLogicLNCL,
+    as_single_source_crowd,
+    corrupt_labels,
+    forward_correction_baseline,
+)
+
+
+def _symmetric_transition(K, rate):
+    T = np.full((K, K), rate / (K - 1))
+    np.fill_diagonal(T, 1.0 - rate)
+    return T
+
+
+class TestCorruptLabels:
+    def test_noise_rate_realized(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        noisy = corrupt_labels(rng, labels, _symmetric_transition(2, 0.3))
+        assert abs((noisy != labels).mean() - 0.3) < 0.03
+
+    def test_zero_noise_is_identity(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=100)
+        noisy = corrupt_labels(rng, labels, np.eye(3))
+        np.testing.assert_array_equal(noisy, labels)
+
+    def test_asymmetric_noise_directional(self):
+        rng = np.random.default_rng(0)
+        labels = np.zeros(3000, dtype=int)
+        T = np.array([[0.6, 0.4], [0.0, 1.0]])
+        noisy = corrupt_labels(rng, labels, T)
+        assert abs((noisy == 1).mean() - 0.4) < 0.04
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            corrupt_labels(rng, np.array([0]), np.array([[0.5, 0.4], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            corrupt_labels(rng, np.array([5]), np.eye(2))
+
+
+class TestAsSingleSourceCrowd:
+    def test_wraps_as_one_annotator(self):
+        crowd = as_single_source_crowd(np.array([0, 1, 1]), 2)
+        assert crowd.num_annotators == 1
+        np.testing.assert_array_equal(crowd.annotations_per_instance(), [1, 1, 1])
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            as_single_source_crowd(np.zeros((3, 2), dtype=int), 2)
+
+
+class TestNoisyLabelLogicLNCL:
+    def _noisy_train(self, task, rate, seed=0):
+        rng = np.random.default_rng(seed)
+        noisy = corrupt_labels(rng, task.train.labels, _symmetric_transition(2, rate))
+        return replace(task.train, crowd=as_single_source_crowd(noisy, 2))
+
+    def _config(self, epochs=6):
+        return LogicLNCLConfig(
+            epochs=epochs, batch_size=32, optimizer="adadelta", learning_rate=1.0,
+            lr_decay_every=None, patience=4, C=5.0, imitation=constant(0.3),
+        )
+
+    def test_requires_single_source(self, sentiment_task):
+        trainer = NoisyLabelLogicLNCL(
+            TextCNN(sentiment_task.embeddings, TextCNNConfig(filter_windows=(2,), feature_maps=6),
+                    np.random.default_rng(0)),
+            self._config(1), np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            trainer.fit(sentiment_task.train)  # fixture crowd has 12 annotators
+
+    def test_learns_under_noise_and_estimates_transition(self, sentiment_task):
+        task = sentiment_task
+        train = self._noisy_train(task, rate=0.25)
+        trainer = NoisyLabelLogicLNCL(
+            TextCNN(task.embeddings, TextCNNConfig(filter_windows=(2, 3), feature_maps=10),
+                    np.random.default_rng(0)),
+            self._config(), np.random.default_rng(1),
+            rule=ButRule(task.but_id),
+        )
+        trainer.fit(train, dev=task.dev)
+        score = accuracy(
+            task.test.labels, trainer.predict_teacher(task.test.tokens, task.test.lengths)
+        )
+        assert score > 0.55
+        # The estimated transition should have a dominant diagonal.
+        T = trainer.transition_
+        assert T.shape == (2, 2)
+        assert np.diag(T).mean() > 0.5
+
+    def test_transition_requires_fit(self, sentiment_task):
+        trainer = NoisyLabelLogicLNCL(
+            TextCNN(sentiment_task.embeddings, TextCNNConfig(filter_windows=(2,), feature_maps=6),
+                    np.random.default_rng(0)),
+            self._config(1), np.random.default_rng(0),
+        )
+        with pytest.raises(RuntimeError):
+            _ = trainer.transition_
+
+
+class TestForwardCorrection:
+    def test_trains_and_beats_chance(self, sentiment_task):
+        task = sentiment_task
+        rng = np.random.default_rng(2)
+        T = _symmetric_transition(2, 0.25)
+        noisy = corrupt_labels(rng, task.train.labels, T)
+        train = replace(task.train, crowd=as_single_source_crowd(noisy, 2))
+        model = TextCNN(task.embeddings, TextCNNConfig(filter_windows=(2, 3), feature_maps=10),
+                        np.random.default_rng(0))
+        config = TrainerConfig(epochs=6, batch_size=32, lr_decay_every=None, patience=4)
+        history = forward_correction_baseline(model, config, rng, train, T, dev=task.dev)
+        assert "best_dev_score" in history
+        score = accuracy(task.test.labels, model.predict(task.test.tokens, task.test.lengths))
+        assert score > 0.55
+
+    def test_validation(self, sentiment_task):
+        model = TextCNN(sentiment_task.embeddings, TextCNNConfig(filter_windows=(2,), feature_maps=6),
+                        np.random.default_rng(0))
+        config = TrainerConfig(epochs=1)
+        with pytest.raises(ValueError):
+            forward_correction_baseline(
+                model, config, np.random.default_rng(0), sentiment_task.train, np.eye(2)
+            )
+        rng = np.random.default_rng(0)
+        noisy = as_single_source_crowd(sentiment_task.train.labels, 2)
+        train = replace(sentiment_task.train, crowd=noisy)
+        with pytest.raises(ValueError):
+            forward_correction_baseline(
+                model, config, rng, train, np.eye(3)
+            )

@@ -1,0 +1,134 @@
+"""Tests for the weak-supervision (labeling function) extension."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import MISSING
+from repro.weak_supervision import (
+    ABSTAIN,
+    KeywordLF,
+    LabelingFunction,
+    NoisyOracleLF,
+    apply_labeling_functions,
+    covered_instances,
+)
+
+
+class TestKeywordLF:
+    def test_fires_on_trigger(self):
+        lf = KeywordLF("pos", [5, 7], label=1)
+        assert lf.vote(np.array([1, 5, 2]), 3) == 1
+
+    def test_abstains_without_trigger(self):
+        lf = KeywordLF("pos", [5], label=1)
+        assert lf.vote(np.array([1, 2, 3]), 3) == ABSTAIN
+
+    def test_ignores_padding(self):
+        lf = KeywordLF("pos", [5], label=1)
+        assert lf.vote(np.array([1, 2, 5]), 2) == ABSTAIN  # 5 is beyond length
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeywordLF("x", [], label=1)
+        with pytest.raises(ValueError):
+            KeywordLF("x", [1], label=-2)
+        with pytest.raises(ValueError):
+            KeywordLF("", [1], label=0)
+
+
+class TestNoisyOracleLF:
+    def test_coverage_and_accuracy_realized(self):
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 2, size=5000)
+        lf = NoisyOracleLF("h", truth, 2, coverage=0.6, accuracy=0.8, rng=rng)
+        votes = np.array([lf.vote_at(i) for i in range(5000)])
+        fired = votes != ABSTAIN
+        assert abs(fired.mean() - 0.6) < 0.05
+        assert abs((votes[fired] == truth[fired]).mean() - 0.8) < 0.05
+
+    def test_vote_requires_positional_api(self):
+        rng = np.random.default_rng(0)
+        lf = NoisyOracleLF("h", np.zeros(3, dtype=int), 2, 1.0, 1.0, rng)
+        with pytest.raises(TypeError):
+            lf.vote(np.array([1]), 1)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        truth = np.zeros(3, dtype=int)
+        with pytest.raises(ValueError):
+            NoisyOracleLF("h", truth, 2, coverage=0.0, accuracy=0.5, rng=rng)
+        with pytest.raises(ValueError):
+            NoisyOracleLF("h", truth, 2, coverage=0.5, accuracy=1.5, rng=rng)
+
+
+class TestApplyLabelingFunctions:
+    def test_builds_crowd_matrix(self, sentiment_task):
+        task = sentiment_task
+        pos = [task.vocab.id_of(f"pos{i}") for i in range(10)]
+        neg = [task.vocab.id_of(f"neg{i}") for i in range(10)]
+        lfs = [KeywordLF("p", pos, 1), KeywordLF("n", neg, 0)]
+        crowd = apply_labeling_functions(lfs, task.train)
+        assert crowd.num_instances == len(task.train)
+        assert crowd.num_annotators == 2
+        # Keyword LFs should be much better than chance where they fire.
+        observed = crowd.observed_mask
+        rows, cols = np.nonzero(observed)
+        agreement = (crowd.labels[rows, cols] == task.train.labels[rows]).mean()
+        assert agreement > 0.6
+
+    def test_requires_lfs(self, sentiment_task):
+        with pytest.raises(ValueError):
+            apply_labeling_functions([], sentiment_task.train)
+
+    def test_full_coverage_enforcement(self, sentiment_task):
+        lf = KeywordLF("rare", [sentiment_task.vocab.id_of("pos0")], 1)
+        with pytest.raises(ValueError):
+            apply_labeling_functions([lf], sentiment_task.train, require_full_coverage=True)
+
+    def test_covered_instances_helper(self, sentiment_task):
+        lf = KeywordLF("rare", [sentiment_task.vocab.id_of("pos0")], 1)
+        crowd = apply_labeling_functions([lf], sentiment_task.train)
+        covered = covered_instances(crowd)
+        assert 0 < len(covered) < len(sentiment_task.train)
+        assert (crowd.labels[covered] != MISSING).any(axis=1).all()
+
+    def test_base_class_is_abstract(self):
+        lf = LabelingFunction("x")
+        with pytest.raises(NotImplementedError):
+            lf.vote(np.array([1]), 1)
+
+
+class TestLogicLNCLOnWeakSupervision:
+    def test_end_to_end_training(self, sentiment_task):
+        """Logic-LNCL must run unchanged on LF votes and beat chance."""
+        from repro.core import LogicLNCLClassifier, LogicLNCLConfig, constant
+        from repro.eval import accuracy
+        from repro.logic import ButRule
+        from repro.models import TextCNN, TextCNNConfig
+        from dataclasses import replace
+
+        task = sentiment_task
+        rng = np.random.default_rng(5)
+        pos = [task.vocab.id_of(f"pos{i}") for i in range(15)]
+        neg = [task.vocab.id_of(f"neg{i}") for i in range(15)]
+        lfs = [
+            KeywordLF("p", pos, 1),
+            KeywordLF("n", neg, 0),
+            NoisyOracleLF("h", task.train.labels, 2, coverage=0.7, accuracy=0.75, rng=rng),
+        ]
+        crowd = apply_labeling_functions(lfs, task.train)
+        train = replace(task.train, crowd=crowd)
+
+        trainer = LogicLNCLClassifier(
+            TextCNN(task.embeddings, TextCNNConfig(filter_windows=(2, 3), feature_maps=8), rng),
+            LogicLNCLConfig(epochs=5, batch_size=32, lr_decay_every=None,
+                            imitation=constant(0.3)),
+            rng,
+            rule=ButRule(task.but_id),
+        )
+        trainer.fit(train, dev=task.dev)
+        test = task.test
+        score = accuracy(test.labels, trainer.predict_teacher(test.tokens, test.lengths))
+        assert score > 0.55
+        # Source-reliability estimates exist for every LF.
+        assert trainer.confusions_.shape == (3, 2, 2)
