@@ -1,0 +1,261 @@
+"""Hot-path microbenchmarks with a tracked JSON trajectory.
+
+Times the three runtime-dominating kernels of the NER track against their
+frozen seed-commit implementations (``seed_baseline.py``):
+
+* **gru** — one training step (forward + backward through a squared loss)
+  of the fused packed GRU layer vs. the seed per-gate time loop, identical
+  weights and data, at the paper's tagger scale (B=32, T=50, H=50,
+  D=conv features).
+* **sequence_em** — one Logic-LNCL pseudo-E/M round (token-level Eq. 12
+  confusion update + Eq. 13 posterior) vectorized vs. the seed
+  per-sentence/per-annotator loops, J=47 annotators as in the CoNLL AMT
+  crowd.
+* **dawid_skene** — classic DS EM on a synthetic classification crowd
+  (no before/after: the implementation was already vectorized; tracked so
+  future PRs see regressions).
+
+Both sides of each comparison run interleaved in the same process,
+best-of-N, because this box's wall-clock is noisy. Sentence lengths are
+drawn geometric with mean ≈14.5 tokens (CoNLL-2003-like) and padded to
+T=50, which is the workload the packed GRU and masked losses actually see.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py            # full
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --smoke    # <30 s
+    ... [--output BENCH_hotpaths.json] [--repeats N]
+
+Writes ``BENCH_hotpaths.json`` at the repo root by default. Exits nonzero
+on any equivalence failure (before/after disagreeing is a correctness bug,
+not a perf datum).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from seed_baseline import (  # noqa: E402
+    MISSING,
+    SeedGRUCell,
+    SeedTensor,
+    seed_gru_forward,
+    seed_sequence_posterior_qa,
+    seed_sequence_update_confusions,
+)
+
+from repro.autodiff import Tensor  # noqa: E402
+from repro.autodiff.nn.rnn import GRU  # noqa: E402
+from repro.core.em import (  # noqa: E402
+    sequence_posterior_qa,
+    sequence_update_confusions,
+)
+from repro.crowd.types import SequenceCrowdLabels  # noqa: E402
+from repro.inference.dawid_skene import DawidSkene  # noqa: E402
+from repro.crowd.types import CrowdLabelMatrix  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def conll_like_lengths(rng: np.random.Generator, n: int, t_max: int) -> np.ndarray:
+    """Geometric lengths, mean ≈14.5 (CoNLL-2003), clipped to [1, t_max];
+    one row pinned at t_max (batches are padded to their longest sentence)."""
+    lengths = np.minimum(np.maximum(rng.geometric(1.0 / 14.5, size=n), 1), t_max)
+    lengths[0] = t_max
+    return lengths
+
+
+def best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls (noise-robust)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# GRU forward+backward
+# --------------------------------------------------------------------- #
+def bench_gru(batch, t_max, hidden, in_dim, repeats, rng) -> dict:
+    gru = GRU(in_dim, hidden, np.random.default_rng(42))
+    x = rng.normal(size=(batch, t_max, in_dim))
+    lengths = conll_like_lengths(rng, batch, t_max)
+    mask = np.arange(t_max)[None, :] < lengths[:, None]
+
+    # Seed cell shares the fused weights, sliced per gate.
+    H = hidden
+    gates = {}
+    for index, gate in enumerate("rzn"):
+        gates[f"w_x{gate}"] = gru.w_x.data[:, index * H : (index + 1) * H].copy()
+        gates[f"w_h{gate}"] = gru.w_h.data[:, index * H : (index + 1) * H].copy()
+        gates[f"b_{gate}"] = gru.bias.data[index * H : (index + 1) * H].copy()
+    seed_cell = SeedGRUCell(gates)
+
+    def run_fused():
+        out = gru(Tensor(x, requires_grad=True), mask=mask)
+        (out**2).sum().backward()
+        return out.numpy()
+
+    def run_seed():
+        for p in seed_cell.parameters():
+            p.zero_grad()
+        out = seed_gru_forward(seed_cell, SeedTensor(x, requires_grad=True), mask)
+        (out**2).sum().backward()
+        return out.data
+
+    fused_out = run_fused()
+    seed_out = run_seed()
+    max_diff = float(np.abs(fused_out - seed_out).max())
+    if max_diff > 1e-10:
+        raise AssertionError(f"fused GRU diverged from seed GRU: {max_diff}")
+
+    fused_s, seed_s = np.inf, np.inf
+    for _ in range(repeats):  # interleave to share machine-noise windows
+        fused_s = min(fused_s, best_of(run_fused, 1))
+        seed_s = min(seed_s, best_of(run_seed, 1))
+    return {
+        "config": {"B": batch, "T": t_max, "H": hidden, "D": in_dim,
+                   "lengths": "geometric(mean≈14.5) clipped to T"},
+        "before_ms": seed_s * 1e3,
+        "after_ms": fused_s * 1e3,
+        "speedup": seed_s / fused_s,
+        "max_abs_diff": max_diff,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Logic-LNCL sequence pseudo-E/M round
+# --------------------------------------------------------------------- #
+def make_sequence_crowd(rng, instances, annotators, classes, t_max, per_sentence):
+    labels = []
+    for _ in range(instances):
+        t = int(np.minimum(np.maximum(rng.geometric(1.0 / 14.5), 1), t_max))
+        matrix = np.full((t, annotators), MISSING, dtype=np.int64)
+        chosen = rng.choice(annotators, size=per_sentence, replace=False)
+        for j in chosen:
+            matrix[:, j] = rng.integers(0, classes, size=t)
+        labels.append(matrix)
+    return SequenceCrowdLabels(labels, classes, annotators)
+
+
+def bench_sequence_em(instances, annotators, classes, t_max, repeats, rng) -> dict:
+    crowd = make_sequence_crowd(rng, instances, annotators, classes, t_max, per_sentence=5)
+    qf = [rng.dirichlet(np.ones(classes), size=m.shape[0]) for m in crowd.labels]
+    proba = [rng.dirichlet(np.ones(classes), size=m.shape[0]) for m in crowd.labels]
+
+    def run_vectorized():
+        confusions = sequence_update_confusions(qf, crowd)
+        return confusions, sequence_posterior_qa(proba, crowd, confusions)
+
+    def run_seed():
+        confusions = seed_sequence_update_confusions(
+            qf, crowd.labels, annotators, classes
+        )
+        return confusions, seed_sequence_posterior_qa(proba, crowd.labels, confusions)
+
+    conf_new, post_new = run_vectorized()
+    conf_old, post_old = run_seed()
+    max_diff = float(
+        max(
+            np.abs(conf_new - conf_old).max(),
+            max(np.abs(a - b).max() for a, b in zip(post_new, post_old)),
+        )
+    )
+    if max_diff > 1e-10:
+        raise AssertionError(f"vectorized EM diverged from seed loops: {max_diff}")
+
+    vec_s, seed_s = np.inf, np.inf
+    for _ in range(repeats):
+        vec_s = min(vec_s, best_of(run_vectorized, 1))
+        seed_s = min(seed_s, best_of(run_seed, 1))
+    return {
+        "config": {"I": instances, "J": annotators, "K": classes, "T_max": t_max,
+                   "annotators_per_sentence": 5},
+        "before_ms": seed_s * 1e3,
+        "after_ms": vec_s * 1e3,
+        "speedup": seed_s / vec_s,
+        "max_abs_diff": max_diff,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Dawid–Skene EM (trajectory tracking, no before/after)
+# --------------------------------------------------------------------- #
+def bench_dawid_skene(instances, annotators, classes, iterations, repeats, rng) -> dict:
+    labels = np.full((instances, annotators), MISSING, dtype=np.int64)
+    truth = rng.integers(0, classes, size=instances)
+    for i in range(instances):
+        chosen = rng.choice(annotators, size=3, replace=False)
+        noisy = np.where(
+            rng.random(3) < 0.7, truth[i], rng.integers(0, classes, size=3)
+        )
+        labels[i, chosen] = noisy
+    crowd = CrowdLabelMatrix(labels, classes)
+    method = DawidSkene(max_iterations=iterations, tolerance=0.0)
+    seconds = best_of(lambda: method.infer(crowd), repeats)
+    return {
+        "config": {"I": instances, "J": annotators, "K": classes,
+                   "iterations": iterations},
+        "ms": seconds * 1e3,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes + few repeats; finishes well under 30 s")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_hotpaths.json")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override best-of-N repeat count")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(20260729)
+    if args.smoke:
+        repeats = args.repeats or 3
+        gru_cfg = dict(batch=16, t_max=30, hidden=32, in_dim=64)
+        em_cfg = dict(instances=60, annotators=47, classes=9, t_max=30)
+        ds_cfg = dict(instances=300, annotators=47, classes=9, iterations=10)
+    else:
+        repeats = args.repeats or 7
+        # Paper scale: tagger batch 32, T=50, GRU hidden 50, conv width 512
+        # features feeding the GRU; CoNLL AMT crowd has 47 annotators.
+        gru_cfg = dict(batch=32, t_max=50, hidden=50, in_dim=512)
+        em_cfg = dict(instances=300, annotators=47, classes=9, t_max=50)
+        ds_cfg = dict(instances=2000, annotators=47, classes=9, iterations=50)
+
+    started = time.time()
+    results = {
+        "bench": "hotpaths",
+        "smoke": bool(args.smoke),
+        "unix_time": int(started),
+        "gru": bench_gru(repeats=repeats, rng=rng, **gru_cfg),
+        "sequence_em": bench_sequence_em(repeats=repeats, rng=rng, **em_cfg),
+        "dawid_skene": bench_dawid_skene(repeats=max(repeats // 2, 1), rng=rng, **ds_cfg),
+    }
+    results["wall_seconds"] = round(time.time() - started, 2)
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    gru, em = results["gru"], results["sequence_em"]
+    print(f"GRU fwd+bwd : {gru['before_ms']:8.2f} ms → {gru['after_ms']:8.2f} ms "
+          f"({gru['speedup']:.2f}x, diff {gru['max_abs_diff']:.1e})")
+    print(f"sequence EM : {em['before_ms']:8.2f} ms → {em['after_ms']:8.2f} ms "
+          f"({em['speedup']:.2f}x, diff {em['max_abs_diff']:.1e})")
+    print(f"Dawid–Skene : {results['dawid_skene']['ms']:8.2f} ms")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

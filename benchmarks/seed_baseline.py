@@ -1,0 +1,281 @@
+"""Frozen seed-commit implementations of the benchmarked hot paths.
+
+``bench_hotpaths.py`` reports before/after timings. "Before" must not
+silently improve as the live engine gets faster, so this module pins the
+relevant seed code (commit ``cf64a19``) verbatim, trimmed to the ops the
+GRU training path uses:
+
+* ``SeedTensor`` — the seed autodiff engine: closure-per-op tape, no
+  no-grad fast path, ``np.where``-based sigmoid, full-array ``np.add.at``
+  scatter for slice gradients, zeros+add gradient accumulation.
+* ``SeedGRUCell`` / ``seed_gru_forward`` — the per-gate cell and the
+  element-at-a-time time loop (~12 tape nodes per step).
+* ``seed_sequence_update_confusions`` / ``seed_sequence_posterior_qa`` —
+  the per-sentence / per-annotator EM loops, including the seed's
+  per-call ``annotators_of`` scan.
+
+Do not "fix" or optimize anything here: it is a measurement baseline, not
+production code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+MISSING = -1
+
+
+class SeedTensor:
+    """Seed-commit Tensor (subset): every op always builds its closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple[SeedTensor, ...] = ()
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+
+    # -- graph plumbing (verbatim seed behavior) ----------------------- #
+    @staticmethod
+    def _make(data, parents: Sequence["SeedTensor"], backward_fn) -> "SeedTensor":
+        out = SeedTensor(data)
+        if any(p._tracked for p in parents):
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    @property
+    def _tracked(self) -> bool:
+        return self.requires_grad or self._backward_fn is not None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self._tracked:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _topo_order(self):
+        order, visited = [], set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        if grad is None:
+            grad = np.ones_like(self.data)
+        order = self._topo_order()
+        for node in order:
+            if node._backward_fn is not None and node is not self:
+                node.grad = None
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward_fn is None or node.grad is None:
+                continue
+            node_grad, node.grad = node.grad, None
+            node._backward_fn(node_grad)
+            if node.requires_grad:
+                node.grad = node_grad
+
+    # -- ops (seed formulas) ------------------------------------------- #
+    @staticmethod
+    def _unbroadcast(grad: np.ndarray, shape) -> np.ndarray:
+        if grad.shape == shape:
+            return grad
+        extra = grad.ndim - len(shape)
+        if extra > 0:
+            grad = grad.sum(axis=tuple(range(extra)))
+        stretched = tuple(
+            i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1
+        )
+        if stretched:
+            grad = grad.sum(axis=stretched, keepdims=True)
+        return grad.reshape(shape)
+
+    def __add__(self, other):
+        other = other if isinstance(other, SeedTensor) else SeedTensor(other)
+
+        def backward_fn(grad):
+            self._accumulate(self._unbroadcast(grad, self.data.shape))
+            other._accumulate(self._unbroadcast(grad, other.data.shape))
+
+        return SeedTensor._make(self.data + other.data, (self, other), backward_fn)
+
+    def __sub__(self, other):
+        other = other if isinstance(other, SeedTensor) else SeedTensor(other)
+
+        def backward_fn(grad):
+            self._accumulate(self._unbroadcast(grad, self.data.shape))
+            other._accumulate(self._unbroadcast(-grad, other.data.shape))
+
+        return SeedTensor._make(self.data - other.data, (self, other), backward_fn)
+
+    def __mul__(self, other):
+        other = other if isinstance(other, SeedTensor) else SeedTensor(other)
+
+        def backward_fn(grad):
+            self._accumulate(self._unbroadcast(grad * other.data, self.data.shape))
+            other._accumulate(self._unbroadcast(grad * self.data, other.data.shape))
+
+        return SeedTensor._make(self.data * other.data, (self, other), backward_fn)
+
+    def __matmul__(self, other):
+        def backward_fn(grad):
+            if self._tracked:
+                self._accumulate(
+                    self._unbroadcast(
+                        grad @ np.swapaxes(other.data, -1, -2), self.data.shape
+                    )
+                )
+            if other._tracked:
+                other._accumulate(
+                    self._unbroadcast(
+                        np.swapaxes(self.data, -1, -2) @ grad, other.data.shape
+                    )
+                )
+
+        return SeedTensor._make(self.data @ other.data, (self, other), backward_fn)
+
+    def __pow__(self, exponent):
+        def backward_fn(grad):
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return SeedTensor._make(self.data**exponent, (self,), backward_fn)
+
+    def sigmoid(self):
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.abs(self.data))),
+            np.exp(-np.abs(self.data)) / (1.0 + np.exp(-np.abs(self.data))),
+        )
+
+        def backward_fn(grad):
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return SeedTensor._make(out_data, (self,), backward_fn)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward_fn(grad):
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return SeedTensor._make(out_data, (self,), backward_fn)
+
+    def sum(self):
+        def backward_fn(grad):
+            self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
+
+        return SeedTensor._make(self.data.sum(), (self,), backward_fn)
+
+    def __getitem__(self, index):
+        out_data = np.array(self.data[index], copy=True)
+
+        def backward_fn(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return SeedTensor._make(out_data, (self,), backward_fn)
+
+
+def seed_stack(tensors: list[SeedTensor], axis: int = 0) -> SeedTensor:
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward_fn(grad):
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            tensor._accumulate(piece)
+
+    return SeedTensor._make(out_data, tuple(tensors), backward_fn)
+
+
+class SeedGRUCell:
+    """Seed per-gate GRU cell; weights are injected (copied from the fused
+    GRU under test so both sides run identical parameters)."""
+
+    def __init__(self, gates: dict[str, np.ndarray]) -> None:
+        for name, value in gates.items():
+            setattr(self, name, SeedTensor(value, requires_grad=True))
+
+    def parameters(self) -> list[SeedTensor]:
+        return [
+            getattr(self, name)
+            for name in (
+                "w_xr", "w_hr", "b_r", "w_xz", "w_hz", "b_z", "w_xn", "w_hn", "b_n",
+            )
+        ]
+
+    def __call__(self, x: SeedTensor, h: SeedTensor) -> SeedTensor:
+        r = (x @ self.w_xr + h @ self.w_hr + self.b_r).sigmoid()
+        z = (x @ self.w_xz + h @ self.w_hz + self.b_z).sigmoid()
+        n = (x @ self.w_xn + r * (h @ self.w_hn) + self.b_n).tanh()
+        one = SeedTensor(np.ones_like(z.data))
+        return (one - z) * n + z * h
+
+
+def seed_gru_forward(cell: SeedGRUCell, x: SeedTensor, mask: np.ndarray | None) -> SeedTensor:
+    """Seed GRU.forward: element-at-a-time unroll with mask-weighted carry."""
+    batch, time, _ = x.data.shape
+    hidden = cell.w_hr.data.shape[0]
+    h = SeedTensor(np.zeros((batch, hidden)))
+    outputs = []
+    for t in range(time):
+        x_t = x[:, t, :]
+        h_new = cell(x_t, h)
+        if mask is not None:
+            m = np.asarray(mask[:, t], dtype=np.float64)[:, None]
+            h = h_new * SeedTensor(m) + h * SeedTensor(1.0 - m)
+        else:
+            h = h_new
+        outputs.append(h)
+    return seed_stack(outputs, axis=1)
+
+
+def _seed_annotators_of(matrix: np.ndarray) -> np.ndarray:
+    return np.nonzero((matrix != MISSING).all(axis=0))[0]
+
+
+def seed_sequence_update_confusions(qf, labels, num_annotators, num_classes, smoothing=0.01):
+    """Seed token-level Eq. 12: per-sentence / per-annotator scatter loops."""
+    K = num_classes
+    counts = np.full((num_annotators, K, K), smoothing)
+    for i, matrix in enumerate(labels):
+        gamma = np.asarray(qf[i])
+        for j in _seed_annotators_of(matrix):
+            np.add.at(counts[j].T, matrix[:, j], gamma)
+    return counts / counts.sum(axis=2, keepdims=True)
+
+
+def seed_sequence_posterior_qa(proba, labels, confusions):
+    """Seed token-level Eq. 13: per-sentence Python loop."""
+    log_confusions = np.log(confusions + 1e-300)
+    out = []
+    for i, matrix in enumerate(labels):
+        p = np.asarray(proba[i], dtype=np.float64)
+        log_posterior = np.log(p + 1e-300)
+        for j in _seed_annotators_of(matrix):
+            log_posterior = log_posterior + log_confusions[j][:, matrix[:, j]].T
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        posterior = np.exp(log_posterior)
+        posterior /= posterior.sum(axis=1, keepdims=True)
+        out.append(posterior)
+    return out

@@ -2,12 +2,21 @@
 
 Public surface::
 
-    from repro.autodiff import Tensor, no_grad
+    from repro.autodiff import Tensor, no_grad, tape_node_count
     from repro.autodiff import functional as F
     from repro.autodiff import nn, optim
+
+Performance design (see :mod:`repro.autodiff.tensor` for details): ops
+skip closure construction entirely under :class:`no_grad` or on constant
+inputs, scalar constants are interned, basic-slice gradients accumulate in
+place, and the recurrent hot path is fused — a whole GRU layer (input
+projection + packed time loop) is a single tape node
+(:func:`repro.autodiff.functional.gru_sequence`). ``tape_node_count``
+exposes a monotonic counter of recorded tape entries for regression tests
+and benchmarks.
 """
 
 from . import functional
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import Tensor, is_grad_enabled, no_grad, tape_node_count
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tape_node_count", "functional"]

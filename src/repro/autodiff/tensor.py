@@ -15,6 +15,26 @@ the CNN+GRU tagger) and by the Logic-LNCL training objectives are
 implemented, but they are implemented fully (broadcasting, slicing,
 reductions with keepdims, etc.) so the layer library in
 :mod:`repro.autodiff.nn` can be written naturally.
+
+Performance notes (the engine sits under the GRU time loop, so per-node
+overhead is a first-order cost):
+
+* ``__slots__`` on :class:`Tensor` and an iterative topological sort keep
+  node bookkeeping cheap and recursion-free.
+* Every operator checks :func:`_tracking` *before* building its backward
+  closure; under :class:`no_grad` (or on constant inputs) the op is a plain
+  NumPy call plus one ``Tensor`` wrapper and records nothing.
+* Small Python scalars coerced into tensors (loss scalings, mask
+  complements, ...) are interned in a bounded constant cache instead of
+  re-wrapped on every call.
+* Basic-slice ``__getitem__`` accumulates its backward gradient in place
+  into the parent's buffer (:meth:`Tensor._accumulate_at`) instead of
+  allocating a full zero array per consumer — the GRU reads one timestep
+  per loop iteration, so this turns an O(T^2) backward memory traffic into
+  O(T).
+* :func:`tape_node_count` exposes a monotonic counter of recorded tape
+  entries, used by evaluation regression tests ("prediction builds zero
+  nodes") and by the benchmark harness.
 """
 
 from __future__ import annotations
@@ -23,9 +43,25 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tape_node_count"]
 
 _GRAD_ENABLED = True
+
+# Monotonic count of tape entries recorded since process start.
+_TAPE_NODES = 0
+
+# Interned scalar constants (floats/ints coerced inside arithmetic ops).
+_CONST_CACHE: dict[float, "Tensor"] = {}
+_CONST_CACHE_MAX = 512
+
+
+def tape_node_count() -> int:
+    """Total number of tape entries recorded so far (monotonic).
+
+    Take a delta around a code region to assert how many graph nodes it
+    built; evaluation paths guarded by :class:`no_grad` must build zero.
+    """
+    return _TAPE_NODES
 
 
 class no_grad:
@@ -33,7 +69,8 @@ class no_grad:
 
     Used at evaluation time; mirrors ``torch.no_grad``. Operations executed
     inside the context produce tensors with no parents and no backward
-    closures, so no memory is spent on the tape.
+    closures — the closure is never even constructed — so no memory or time
+    is spent on the tape.
     """
 
     def __enter__(self) -> "no_grad":
@@ -73,6 +110,26 @@ def _as_array(value) -> np.ndarray:
     if isinstance(value, np.ndarray):
         return value if value.dtype == np.float64 else value.astype(np.float64)
     return np.asarray(value, dtype=np.float64)
+
+
+def _tracking(*tensors: "Tensor") -> bool:
+    """True when an op over ``tensors`` must record a tape entry."""
+    if not _GRAD_ENABLED:
+        return False
+    for t in tensors:
+        if t.requires_grad or t._backward_fn is not None:
+            return True
+    return False
+
+
+_BASIC_INDEX_TYPES = (int, np.integer, slice, type(None), type(Ellipsis))
+
+
+def _is_basic_index(index) -> bool:
+    """True for indices with no fancy/boolean components (no duplicates)."""
+    if isinstance(index, tuple):
+        return all(isinstance(part, _BASIC_INDEX_TYPES) for part in index)
+    return isinstance(index, _BASIC_INDEX_TYPES)
 
 
 class Tensor:
@@ -139,17 +196,38 @@ class Tensor:
     # Graph plumbing
     # ------------------------------------------------------------------ #
     @staticmethod
+    def _link(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output and unconditionally record the tape entry.
+
+        Callers must have already checked :func:`_tracking`; this split lets
+        hot ops skip closure construction entirely on the no-grad path.
+        """
+        global _TAPE_NODES
+        out = Tensor(data)
+        out._parents = tuple(parents)
+        out._backward_fn = backward_fn
+        _TAPE_NODES += 1
+        return out
+
+    @staticmethod
     def _make(
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create an op output, recording the tape entry only when needed."""
-        out = Tensor(data)
-        if _GRAD_ENABLED and any(p._tracked for p in parents):
-            out._parents = tuple(parents)
-            out._backward_fn = backward_fn
-        return out
+        """Create an op output, recording the tape entry only when needed.
+
+        Convenience wrapper for composite ops whose closure construction is
+        cheap relative to the forward math; hot ops use the explicit
+        ``if _tracking(...): Tensor._link(...)`` pattern instead.
+        """
+        if _tracking(*parents):
+            return Tensor._link(data, parents, backward_fn)
+        return Tensor(data)
 
     @property
     def _tracked(self) -> bool:
@@ -166,8 +244,41 @@ class Tensor:
         if not self._tracked:
             return
         if self.grad is None:
+            # First contribution: copy instead of zeros+add (half the
+            # memory traffic; closures hand over freshly built arrays).
+            if grad.shape == self.data.shape:
+                self.grad = np.array(grad, dtype=np.float64, copy=True)
+            else:
+                self.grad = np.zeros_like(self.data)
+                self.grad += grad
+        else:
+            self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Like :meth:`_accumulate`, but takes ownership of ``grad``.
+
+        Only call with a freshly allocated array (or a view of one) that
+        the caller will not touch again; the first contribution is then
+        stored without a defensive copy.
+        """
+        if not self._tracked:
+            return
+        if self.grad is None and grad.shape == self.data.shape:
+            self.grad = np.ascontiguousarray(grad)
+        else:
+            self._accumulate(grad)
+
+    def _accumulate_at(self, index, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad[index]`` without a full-size temp.
+
+        Only valid for *basic* indices (no duplicated positions), where
+        in-place ``+=`` on the slice is exact.
+        """
+        if not self._tracked:
+            return
+        if self.grad is None:
             self.grad = np.zeros_like(self.data)
-        self.grad += grad
+        self.grad[index] += grad
 
     def zero_grad(self) -> None:
         """Reset the gradient buffer."""
@@ -240,50 +351,76 @@ class Tensor:
     # ------------------------------------------------------------------ #
     @staticmethod
     def _coerce(other) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, (int, float)) and not isinstance(other, bool):
+            key = float(other)
+            cached = _CONST_CACHE.get(key)
+            if cached is not None:
+                return cached
+            cached = Tensor(key)
+            if len(_CONST_CACHE) < _CONST_CACHE_MAX:
+                _CONST_CACHE[key] = cached
+            return cached
+        return Tensor(other)
 
     def __add__(self, other) -> "Tensor":
         other = self._coerce(other)
+        out_data = self.data + other.data
+        if not _tracking(self, other):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.data.shape))
             other._accumulate(_unbroadcast(grad, other.data.shape))
 
-        return Tensor._make(self.data + other.data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), backward_fn)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if not _tracking(self):
+            return Tensor(-self.data)
+
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward_fn)
+        return Tensor._link(-self.data, (self,), backward_fn)
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce(other)
+        out_data = self.data - other.data
+        if not _tracking(self, other):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.data.shape))
             other._accumulate(_unbroadcast(-grad, other.data.shape))
 
-        return Tensor._make(self.data - other.data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), backward_fn)
 
     def __rsub__(self, other) -> "Tensor":
         return Tensor._coerce(other).__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
         other = self._coerce(other)
+        out_data = self.data * other.data
+        if not _tracking(self, other):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
             other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
 
-        return Tensor._make(self.data * other.data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), backward_fn)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
         other = self._coerce(other)
+        out_data = self.data / other.data
+        if not _tracking(self, other):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
@@ -291,7 +428,7 @@ class Tensor:
                 _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
             )
 
-        return Tensor._make(self.data / other.data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), backward_fn)
 
     def __rtruediv__(self, other) -> "Tensor":
         return Tensor._coerce(other).__truediv__(self)
@@ -299,86 +436,116 @@ class Tensor:
     def __pow__(self, exponent) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+        if not _tracking(self):
+            return Tensor(out_data)
 
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+        if exponent == 2:
+            # Hot case (squared losses): avoid the elementwise pow call.
+            def backward_fn(grad: np.ndarray) -> None:
+                self._accumulate(grad * 2.0 * self.data)
 
-        return Tensor._make(self.data**exponent, (self,), backward_fn)
+        else:
+
+            def backward_fn(grad: np.ndarray) -> None:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
         if self.data.ndim < 2 or other.data.ndim < 2:
             raise ValueError("matmul requires operands with ndim >= 2")
+        out_data = self.data @ other.data
+        if not _tracking(self, other):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
+            # The products below are fresh arrays, so ownership transfers.
             if self._tracked:
                 g = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(g, self.data.shape))
+                self._accumulate_owned(_unbroadcast(g, self.data.shape))
             if other._tracked:
                 g = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(g, other.data.shape))
+                other._accumulate_owned(_unbroadcast(g, other.data.shape))
 
-        return Tensor._make(self.data @ other.data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), backward_fn)
 
     # ------------------------------------------------------------------ #
     # Elementwise nonlinearities
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not _tracking(self):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+        if not _tracking(self):
+            return Tensor(out_data)
+
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return Tensor._make(np.log(self.data), (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not _tracking(self):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def sigmoid(self) -> "Tensor":
-        out_data = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.abs(self.data))),
-            np.exp(-np.abs(self.data)) / (1.0 + np.exp(-np.abs(self.data))),
-        )
+        # (1 + tanh(x/2)) / 2: overflow-free for any input and a single
+        # vectorized transcendental, vs. the usual two-branch exp form.
+        out_data = 0.5 * (1.0 + np.tanh(0.5 * self.data))
+        if not _tracking(self):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
+        out_data = self.data * mask
+        if not _tracking(self):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(self.data * mask, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient flows only through the unclipped region."""
+        out_data = np.clip(self.data, low, high)
+        if not _tracking(self):
+            return Tensor(out_data)
         mask = (self.data >= low) & (self.data <= high)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _tracking(self):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             g = grad
@@ -386,9 +553,9 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else axis
                 for ax in sorted(a % self.data.ndim for a in axes):
                     g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+            self._accumulate_owned(np.broadcast_to(g, self.data.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -401,6 +568,8 @@ class Tensor:
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
         """Max along one axis; gradient is routed to the first argmax entry."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _tracking(self):
+            return Tensor(out_data)
         expanded = self.data.max(axis=axis, keepdims=True)
         mask = self.data == expanded
         first = np.cumsum(mask, axis=axis) == 1
@@ -410,7 +579,7 @@ class Tensor:
             g = grad if keepdims else np.expand_dims(grad, axis)
             self._accumulate(mask * g)
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
@@ -418,30 +587,48 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        if not _tracking(self):
+            return Tensor(out_data)
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(self.data.shape))
 
-        return Tensor._make(self.data.reshape(shape), (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes_tuple)
+        if not _tracking(self):
+            return Tensor(out_data)
         inverse = tuple(np.argsort(axes_tuple))
 
         def backward_fn(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(self.data.transpose(axes_tuple), (self,), backward_fn)
+        return Tensor._link(out_data, (self,), backward_fn)
 
     def __getitem__(self, index) -> "Tensor":
         out_data = np.array(self.data[index], copy=True)
+        if not _tracking(self):
+            return Tensor(out_data)
 
-        def backward_fn(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+        if _is_basic_index(index):
+            # Basic indices select each source element at most once, so the
+            # backward pass can add in place into the parent's buffer — no
+            # full-size scratch array per consumer (the GRU slices one
+            # timestep per loop iteration; this keeps its backward O(T)).
+            def backward_fn(grad: np.ndarray) -> None:
+                self._accumulate_at(index, grad)
 
-        return Tensor._make(out_data, (self,), backward_fn)
+        else:
+
+            def backward_fn(grad: np.ndarray) -> None:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._link(out_data, (self,), backward_fn)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..autodiff import functional as F
+from ..autodiff import no_grad
 from ..autodiff.nn import Module
 from ..autodiff.optim import SGD, Adadelta, Adam, Optimizer, StepDecay, clip_grad_norm
 from ..data.loaders import batch_indices
@@ -177,22 +178,34 @@ def run_sequence_epoch(
 def predict_proba_batched(
     model: TextClassifier, tokens: np.ndarray, lengths: np.ndarray, batch_size: int = 256
 ) -> np.ndarray:
-    """``(I, K)`` probabilities computed in evaluation batches."""
-    pieces = [
-        model.predict_proba(tokens[batch], lengths[batch])
-        for batch in batch_indices(len(lengths), batch_size, shuffle=False)
-    ]
+    """``(I, K)`` probabilities computed in evaluation batches.
+
+    Runs under :class:`no_grad` end to end (belt and braces on top of the
+    model's own guard), so evaluation sweeps build zero tape nodes even if
+    a model subclass forgets its own guard.
+    """
+    with no_grad():
+        pieces = [
+            model.predict_proba(tokens[batch], lengths[batch])
+            for batch in batch_indices(len(lengths), batch_size, shuffle=False)
+        ]
     return np.concatenate(pieces, axis=0)
 
 
 def predict_sequence_proba_batched(
     model: SequenceTagger, tokens: np.ndarray, lengths: np.ndarray, batch_size: int = 128
 ) -> np.ndarray:
-    """``(I, T, K)`` per-token probabilities in evaluation batches."""
-    pieces = [
-        model.predict_proba(tokens[batch], lengths[batch])
-        for batch in batch_indices(len(lengths), batch_size, shuffle=False)
-    ]
+    """``(I, T, K)`` per-token probabilities in evaluation batches.
+
+    Guarded by :class:`no_grad` like :func:`predict_proba_batched`; this is
+    the pseudo-E-step's prediction sweep, so a stray tape here would cost
+    memory every EM round.
+    """
+    with no_grad():
+        pieces = [
+            model.predict_proba(tokens[batch], lengths[batch])
+            for batch in batch_indices(len(lengths), batch_size, shuffle=False)
+        ]
     return np.concatenate(pieces, axis=0)
 
 

@@ -7,6 +7,16 @@ Public surface::
         LogicLNCLConfig, sentiment_paper_config, ner_paper_config,
         constant, exponential_ramp,
     )
+
+Performance: the sequence pseudo-E/M steps are array-at-a-time. Ragged
+per-sentence crowd labels are flattened once into cached ``(ΣT_i, J)``
+token matrices (plus a sparse token × (annotator, label) incidence), so
+the Eq. 12 confusion update and Eq. 13 posterior are a handful of NumPy /
+sparse-matmul calls rather than per-sentence Python loops — see
+:mod:`repro.core.em` (the ``*_reference`` functions preserve the original
+loop semantics and anchor the equivalence tests). The matching ``semantics
+unchanged`` argument for the fused GRU lives in
+:mod:`repro.autodiff.functional.gru_sequence`.
 """
 
 from .config import LogicLNCLConfig, ner_paper_config, sentiment_paper_config

@@ -9,19 +9,32 @@ rule-free special case).
 
 Sequence versions treat each (sentence, token) as an instance whose
 annotator set is the sentence's annotator set.
+
+Performance: the sequence functions are fully vectorized. The ragged
+per-sentence label matrices are flattened once into a cached ``(ΣT_i, J)``
+token × annotator matrix (:meth:`SequenceCrowdLabels.flat_labels`); the
+confusion-count scatter (Eq. 12) and the per-annotator log-likelihood
+gather (Eq. 13) then reduce to a handful of ``bincount``/fancy-index calls
+over the ``(token, annotator)`` pairs that actually carry labels — no
+Python loop over sentences or annotators. The original loop
+implementations are kept as ``*_reference`` functions: they are the
+executable specification, used by the equivalence tests and as the
+"before" side of ``benchmarks/bench_hotpaths.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..crowd.types import CrowdLabelMatrix, SequenceCrowdLabels
+from ..crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
 
 __all__ = [
     "update_confusions",
     "posterior_qa",
     "sequence_update_confusions",
     "sequence_posterior_qa",
+    "sequence_update_confusions_reference",
+    "sequence_posterior_qa_reference",
 ]
 
 
@@ -70,10 +83,92 @@ def posterior_qa(
     return posterior
 
 
+def _stack_ragged(arrays: list[np.ndarray], crowd: SequenceCrowdLabels) -> np.ndarray:
+    """Validate per-sentence arrays against the crowd and stack to (ΣT_i, K)."""
+    K = crowd.num_classes
+    for i, item in enumerate(arrays):
+        shape = item.shape if isinstance(item, np.ndarray) else np.asarray(item).shape
+        if shape != (crowd.labels[i].shape[0], K):
+            raise ValueError(f"entry {i} shape {shape} mismatches sentence")
+    if not arrays:
+        return np.zeros((0, K))
+    return np.concatenate(arrays, axis=0).astype(np.float64, copy=False)
+
+
 def sequence_update_confusions(
     qf: list[np.ndarray], crowd: SequenceCrowdLabels, smoothing: float = 0.01
 ) -> np.ndarray:
-    """Token-level Eq. 12 over all sentences."""
+    """Token-level Eq. 12 over all sentences, vectorized.
+
+    Every labeled ``(token, annotator)`` pair contributes the token's
+    posterior row ``qf[t, :]`` to ``counts[j, :, y_tj]``. Grouping pairs by
+    the composite key ``j * K + y`` turns the whole scatter into one
+    ``bincount`` per true class — K calls total, independent of I and J.
+    Matches :func:`sequence_update_confusions_reference` exactly.
+    """
+    K = crowd.num_classes
+    J = crowd.num_annotators
+    gamma = _stack_ragged(qf, crowd)                          # (N, K)
+    incidence = crowd.token_label_incidence()                 # (N, J·K) sparse
+    if incidence is not None:
+        summed = np.asarray(incidence.T @ gamma)              # one spMM
+    else:  # scipy unavailable: bincount per true class
+        tokens, annotators, given = crowd.flat_label_pairs()
+        key = annotators * K + given
+        gathered = gamma[tokens]
+        summed = np.empty((J * K, K))
+        for m in range(K):
+            summed[:, m] = np.bincount(key, weights=gathered[:, m], minlength=J * K)
+    # summed[(j, n), m] → counts[j, m, n]
+    counts = summed.reshape(J, K, K).transpose(0, 2, 1) + smoothing
+    return counts / counts.sum(axis=2, keepdims=True)
+
+
+def sequence_posterior_qa(
+    proba: list[np.ndarray], crowd: SequenceCrowdLabels, confusions: np.ndarray
+) -> list[np.ndarray]:
+    """Token-level Eq. 13 for every sentence, vectorized.
+
+    The per-annotator likelihood rows ``log π_j[:, y_tj]`` are gathered for
+    all labeled ``(token, annotator)`` pairs in one fancy index and summed
+    into each token with one ``bincount`` per class. Matches
+    :func:`sequence_posterior_qa_reference` exactly.
+    """
+    K = crowd.num_classes
+    J = crowd.num_annotators
+    log_confusions = np.log(confusions + 1e-300)              # (J, K, K)
+    p = _stack_ragged(proba, crowd)                           # (N, K)
+    _, offsets = crowd.flat_labels()
+    log_posterior = np.log(p + 1e-300)
+    # (J·K, K): row (j, y) holds log π_j[:, y] — the per-class likelihood
+    # of annotator j emitting label y.
+    by_label = np.ascontiguousarray(log_confusions.transpose(0, 2, 1)).reshape(J * K, K)
+    incidence = crowd.token_label_incidence()                 # (N, J·K) sparse
+    if incidence is not None:
+        log_posterior += np.asarray(incidence @ by_label)     # one spMM
+    else:  # scipy unavailable: bincount per class
+        tokens, annotators, given = crowd.flat_label_pairs()
+        if tokens.size:
+            contrib = by_label[annotators * K + given]
+            N = log_posterior.shape[0]
+            for k in range(K):
+                log_posterior[:, k] += np.bincount(tokens, weights=contrib[:, k], minlength=N)
+    log_posterior -= log_posterior.max(axis=1, keepdims=True)
+    posterior = np.exp(log_posterior)
+    posterior /= posterior.sum(axis=1, keepdims=True)
+    return [
+        posterior[offsets[i] : offsets[i + 1]] for i in range(crowd.num_instances)
+    ]
+
+
+def sequence_update_confusions_reference(
+    qf: list[np.ndarray], crowd: SequenceCrowdLabels, smoothing: float = 0.01
+) -> np.ndarray:
+    """Pre-vectorization token-level Eq. 12 (per-sentence/annotator loops).
+
+    Kept as the executable specification for equivalence tests and the
+    benchmark baseline; use :func:`sequence_update_confusions`.
+    """
     K = crowd.num_classes
     counts = np.full((crowd.num_annotators, K, K), smoothing)
     for i in range(crowd.num_instances):
@@ -86,10 +181,14 @@ def sequence_update_confusions(
     return counts / counts.sum(axis=2, keepdims=True)
 
 
-def sequence_posterior_qa(
+def sequence_posterior_qa_reference(
     proba: list[np.ndarray], crowd: SequenceCrowdLabels, confusions: np.ndarray
 ) -> list[np.ndarray]:
-    """Token-level Eq. 13 for every sentence."""
+    """Pre-vectorization token-level Eq. 13 (per-sentence loop).
+
+    Kept as the executable specification for equivalence tests and the
+    benchmark baseline; use :func:`sequence_posterior_qa`.
+    """
     log_confusions = np.log(confusions + 1e-300)
     out: list[np.ndarray] = []
     for i in range(crowd.num_instances):

@@ -95,15 +95,13 @@ class LogicLNCLSequenceTagger:
         return out
 
     def _token_mv(self, crowd) -> list[np.ndarray]:
-        posteriors = []
-        for i in range(crowd.num_instances):
-            votes = crowd.token_vote_counts(i).astype(np.float64)
-            totals = votes.sum(axis=1, keepdims=True)
-            uniform = np.full_like(votes, 1.0 / crowd.num_classes)
-            posteriors.append(
-                np.where(totals > 0, votes / np.where(totals > 0, totals, 1.0), uniform)
-            )
-        return posteriors
+        """Token-level majority vote over all sentences in one pass."""
+        votes = crowd.token_vote_counts_flat().astype(np.float64)   # (ΣT_i, K)
+        totals = votes.sum(axis=1, keepdims=True)
+        uniform = np.full_like(votes, 1.0 / crowd.num_classes)
+        flat = np.where(totals > 0, votes / np.where(totals > 0, totals, 1.0), uniform)
+        _, offsets = crowd.flat_labels()
+        return [flat[offsets[i] : offsets[i + 1]] for i in range(crowd.num_instances)]
 
     # ------------------------------------------------------------------ #
     def fit(

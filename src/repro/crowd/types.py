@@ -175,21 +175,112 @@ class SequenceCrowdLabels:
     def num_instances(self) -> int:
         return len(self.labels)
 
+    def flat_labels(self) -> tuple[np.ndarray, np.ndarray]:
+        """All sentences stacked: ``((ΣT_i, J) labels, (I+1,) row offsets)``.
+
+        Sentence ``i`` occupies rows ``offsets[i]:offsets[i+1]``. The result
+        is cached — the label matrices are treated as immutable (every
+        mutating operation, e.g. :meth:`subset`, builds a new container).
+        This flat view is what the vectorized EM updates in
+        :mod:`repro.core.em` and the token-level inference adapters operate
+        on instead of per-sentence Python loops.
+        """
+        cached = getattr(self, "_flat_cache", None)
+        if cached is None:
+            sizes = np.fromiter(
+                (matrix.shape[0] for matrix in self.labels), dtype=np.int64, count=len(self.labels)
+            )
+            offsets = np.zeros(len(self.labels) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+            stacked = (
+                np.concatenate(self.labels, axis=0)
+                if self.labels
+                else np.zeros((0, self.num_annotators), dtype=np.int64)
+            )
+            cached = (stacked, offsets)
+            self._flat_cache = cached
+        return cached
+
+    def flat_label_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(token, annotator, label)`` triples of all observed labels.
+
+        ``token`` indexes rows of :meth:`flat_labels`; the triples drive the
+        vectorized EM scatter/gather in :mod:`repro.core.em` without
+        re-scanning the ``(ΣT_i, J)`` matrix every round.
+        """
+        cached = getattr(self, "_flat_pairs_cache", None)
+        if cached is None:
+            stacked, _ = self.flat_labels()
+            tokens, annotators = np.nonzero(stacked != MISSING)
+            cached = (tokens, annotators, stacked[tokens, annotators])
+            self._flat_pairs_cache = cached
+        return cached
+
+    def token_label_incidence(self):
+        """Cached sparse ``(ΣT_i, J·K)`` incidence of observed labels.
+
+        Entry ``(t, j·K + y)`` is 1 when annotator ``j`` gave token ``t``
+        label ``y``. Both sequence-EM updates are then single sparse–dense
+        products (see :mod:`repro.core.em`). Returns None when scipy is
+        unavailable (callers fall back to bincount accumulation).
+        """
+        cached = getattr(self, "_incidence_cache", None)
+        if cached is None:
+            try:
+                from scipy.sparse import csr_matrix
+            except ImportError:
+                cached = (None,)
+            else:
+                tokens, annotators, given = self.flat_label_pairs()
+                stacked, _ = self.flat_labels()
+                group = annotators * self.num_classes + given
+                matrix = csr_matrix(
+                    (np.ones(tokens.size), (tokens, group)),
+                    shape=(stacked.shape[0], self.num_annotators * self.num_classes),
+                )
+                cached = (matrix,)
+            self._incidence_cache = cached
+        return cached[0]
+
+    def annotator_mask(self) -> np.ndarray:
+        """Boolean ``(I, J)``: which annotators labeled each sentence (cached)."""
+        cached = getattr(self, "_annotator_mask_cache", None)
+        if cached is None:
+            stacked, offsets = self.flat_labels()
+            observed = stacked != MISSING
+            # Columns are all-or-none per sentence, so "any token labeled"
+            # equals "sentence labeled"; reduceat sums per-sentence blocks.
+            nonempty = offsets[:-1] < offsets[1:]
+            cached = np.zeros((self.num_instances, self.num_annotators), dtype=bool)
+            if nonempty.any():
+                sums = np.add.reduceat(observed, offsets[:-1][nonempty], axis=0)
+                cached[nonempty] = sums > 0
+            self._annotator_mask_cache = cached
+        return cached
+
     def annotators_of(self, instance: int) -> np.ndarray:
         """Indices of annotators who labeled this sentence."""
-        matrix = self.labels[instance]
-        return np.nonzero((matrix != MISSING).all(axis=0))[0]
+        return np.nonzero(self.annotator_mask()[instance])[0]
 
     def annotations_per_instance(self) -> np.ndarray:
         """Annotators per sentence, shape ``(I,)``."""
-        return np.array([len(self.annotators_of(i)) for i in range(self.num_instances)])
+        return self.annotator_mask().sum(axis=1)
 
     def annotations_per_annotator(self) -> np.ndarray:
         """Sentences labeled by each annotator, shape ``(J,)``."""
-        counts = np.zeros(self.num_annotators, dtype=np.int64)
-        for i in range(self.num_instances):
-            counts[self.annotators_of(i)] += 1
-        return counts
+        return self.annotator_mask().sum(axis=0)
+
+    def token_vote_counts_flat(self) -> np.ndarray:
+        """Per-token class vote counts over all sentences, shape ``(ΣT_i, K)``.
+
+        Row blocks follow :meth:`flat_labels` offsets; one ``bincount`` per
+        class replaces the per-sentence / per-annotator scatter loops.
+        """
+        stacked, _ = self.flat_labels()
+        tokens, _, votes = self.flat_label_pairs()
+        key = tokens * self.num_classes + votes
+        counts = np.bincount(key, minlength=stacked.shape[0] * self.num_classes)
+        return counts.reshape(stacked.shape[0], self.num_classes)
 
     def token_vote_counts(self, instance: int) -> np.ndarray:
         """Per-token class vote counts for one sentence, shape ``(T_i, K)``."""

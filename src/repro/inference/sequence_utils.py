@@ -20,15 +20,14 @@ __all__ = ["flatten_sequence_crowd", "TokenLevelInference"]
 def flatten_sequence_crowd(crowd: SequenceCrowdLabels) -> tuple[CrowdLabelMatrix, list[slice]]:
     """Stack all sentences' token labels into one ``(ΣT_i, J)`` matrix.
 
-    Returns the matrix and per-sentence row slices for unflattening.
+    Returns the matrix and per-sentence row slices for unflattening. The
+    stacked matrix and offsets come from the crowd's cached flat view, so
+    repeated flattening (every EM round) costs no fresh concatenation.
     """
-    pieces = [np.asarray(matrix) for matrix in crowd.labels]
-    slices: list[slice] = []
-    cursor = 0
-    for piece in pieces:
-        slices.append(slice(cursor, cursor + piece.shape[0]))
-        cursor += piece.shape[0]
-    stacked = np.concatenate(pieces, axis=0)
+    stacked, offsets = crowd.flat_labels()
+    slices = [
+        slice(int(offsets[i]), int(offsets[i + 1])) for i in range(crowd.num_instances)
+    ]
     return CrowdLabelMatrix(stacked, crowd.num_classes), slices
 
 

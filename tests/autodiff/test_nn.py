@@ -184,7 +184,7 @@ class TestGRU:
         gru = nn.GRU(2, 3, rng)
         x = Tensor(rng.normal(size=(2, 3, 2)))
         params = gru.parameters()
-        assert len(params) == 9
+        assert len(params) == 3  # fused w_x, w_h, bias
         assert_grad_matches(
             lambda: (gru(x) ** 2).sum(), params, atol=1e-4, rtol=1e-3
         )

@@ -1,0 +1,64 @@
+"""Regression tests: evaluation paths must build zero autodiff tape nodes.
+
+Uses the engine's monotonic tape-entry counter. A stray tracked op inside
+a prediction sweep silently costs memory and time every EM round, so this
+is pinned as a hard invariant.
+"""
+
+import numpy as np
+
+from repro.autodiff import Tensor, tape_node_count
+from repro.baselines.common import (
+    predict_proba_batched,
+    predict_sequence_proba_batched,
+)
+from repro.models.mlp import MLPClassifier
+from repro.models.ner_crnn import NERTagger, NERTaggerConfig
+
+
+def _classifier():
+    rng = np.random.default_rng(0)
+    embeddings = rng.normal(size=(30, 8))
+    return MLPClassifier(embeddings, num_classes=3, hidden=16, rng=rng)
+
+
+def _tagger():
+    rng = np.random.default_rng(1)
+    embeddings = rng.normal(size=(30, 8))
+    config = NERTaggerConfig(num_classes=5, conv_features=12, gru_hidden=6)
+    return NERTagger(embeddings, config, rng)
+
+
+def test_classification_eval_builds_zero_tape_nodes():
+    model = _classifier()
+    rng = np.random.default_rng(2)
+    tokens = rng.integers(0, 30, size=(40, 7))
+    lengths = rng.integers(1, 8, size=40)
+    before = tape_node_count()
+    probabilities = predict_proba_batched(model, tokens, lengths, batch_size=16)
+    assert tape_node_count() == before
+    assert probabilities.shape == (40, 3)
+    np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-12)
+
+
+def test_sequence_eval_builds_zero_tape_nodes():
+    model = _tagger()
+    rng = np.random.default_rng(3)
+    tokens = rng.integers(0, 30, size=(20, 9))
+    lengths = rng.integers(1, 10, size=20)
+    before = tape_node_count()
+    probabilities = predict_sequence_proba_batched(model, tokens, lengths, batch_size=8)
+    assert tape_node_count() == before
+    assert probabilities.shape == (20, 9, 5)
+
+
+def test_training_path_still_records_nodes():
+    """Counter sanity: the tracked path must register tape entries."""
+    model = _tagger()
+    rng = np.random.default_rng(4)
+    tokens = rng.integers(0, 30, size=(4, 6))
+    lengths = np.array([6, 4, 3, 1])
+    before = tape_node_count()
+    logits = model.logits(tokens, lengths)
+    assert tape_node_count() > before
+    assert isinstance(logits, Tensor)

@@ -1,0 +1,49 @@
+"""CI wiring for the hot-path benchmark harness.
+
+Runs ``benchmarks/bench_hotpaths.py --smoke`` in a subprocess (fresh
+interpreter, exactly as CI would) and fails if it errors — so a change
+that breaks the fused GRU / vectorized EM equivalence checks, or the
+harness itself, fails the tier-1 suite. The smoke run finishes in a few
+seconds; it measures tiny sizes and makes no speedup assertions (wall
+clock on shared CI boxes is not a contract).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_bench_hotpaths_smoke_runs_and_writes_json(tmp_path):
+    output = tmp_path / "BENCH_hotpaths.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_hotpaths.py"),
+            "--smoke",
+            "--output",
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert completed.returncode == 0, (
+        f"bench_hotpaths --smoke failed\nstdout:\n{completed.stdout}\n"
+        f"stderr:\n{completed.stderr}"
+    )
+
+    payload = json.loads(output.read_text())
+    assert payload["smoke"] is True
+    for section in ("gru", "sequence_em"):
+        entry = payload[section]
+        assert entry["before_ms"] > 0 and entry["after_ms"] > 0
+        # Equivalence is asserted inside the harness; re-check it landed.
+        assert entry["max_abs_diff"] < 1e-10
+    assert payload["dawid_skene"]["ms"] > 0
