@@ -1,7 +1,7 @@
 """Hot-path microbenchmarks with a tracked JSON trajectory.
 
-Times the three runtime-dominating kernels of the NER track against their
-frozen seed-commit implementations (``seed_baseline.py``):
+Times the four runtime-dominating kernels of the crowd tracks against
+their frozen seed-commit implementations (``seed_baseline.py``):
 
 * **gru** — one training step (forward + backward through a squared loss)
   of the fused packed GRU layer vs. the seed per-gate time loop, identical
@@ -11,9 +11,13 @@ frozen seed-commit implementations (``seed_baseline.py``):
   confusion update + Eq. 13 posterior) vectorized vs. the seed
   per-sentence/per-annotator loops, J=47 annotators as in the CoNLL AMT
   crowd.
-* **dawid_skene** — classic DS EM on a synthetic classification crowd
-  (no before/after: the implementation was already vectorized; tracked so
-  future PRs see regressions).
+* **dawid_skene** — classic DS EM on a synthetic classification crowd:
+  sparse-COO kernels (``repro.inference.primitives``) vs. the seed's
+  dense ``(I, J, K)`` one-hot einsums, at the paper's sentiment-crowd
+  scale mapped to the NER tag set (I=2000, J=47, K=9).
+* **forward_backward** — one HMM-Crowd/BSC-seq E-round: the batched
+  length-masked forward–backward over padded ``(I, T_max, K)`` emissions
+  vs. the seed per-chain Python loop (I=300, T≤50, K=9).
 
 Both sides of each comparison run interleaved in the same process,
 best-of-N, because this box's wall-clock is noisy. Sentence lengths are
@@ -24,11 +28,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py            # full
     PYTHONPATH=src python benchmarks/bench_hotpaths.py --smoke    # <30 s
-    ... [--output BENCH_hotpaths.json] [--repeats N]
+    ... [--output BENCH_hotpaths.json] [--repeats N] [--tag pr2]
 
-Writes ``BENCH_hotpaths.json`` at the repo root by default. Exits nonzero
-on any equivalence failure (before/after disagreeing is a correctness bug,
-not a perf datum).
+Writes ``BENCH_hotpaths.json`` at the repo root by default; with
+``--tag <name>`` a full (non-smoke) run is also archived to
+``benchmarks/history/<name>.json`` so the per-PR trend line survives the
+next overwrite. Exits nonzero on any equivalence failure (before/after
+disagreeing is a correctness bug, not a perf datum).
 """
 
 from __future__ import annotations
@@ -48,6 +54,8 @@ from seed_baseline import (  # noqa: E402
     MISSING,
     SeedGRUCell,
     SeedTensor,
+    seed_dawid_skene,
+    seed_forward_backward,
     seed_gru_forward,
     seed_sequence_posterior_qa,
     seed_sequence_update_confusions,
@@ -59,11 +67,12 @@ from repro.core.em import (  # noqa: E402
     sequence_posterior_qa,
     sequence_update_confusions,
 )
-from repro.crowd.types import SequenceCrowdLabels  # noqa: E402
+from repro.crowd.types import CrowdLabelMatrix, SequenceCrowdLabels  # noqa: E402
 from repro.inference.dawid_skene import DawidSkene  # noqa: E402
-from repro.crowd.types import CrowdLabelMatrix  # noqa: E402
+from repro.inference.primitives import batched_forward_backward  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_DIR = Path(__file__).resolve().parent / "history"
 
 
 def conll_like_lengths(rng: np.random.Generator, n: int, t_max: int) -> np.ndarray:
@@ -190,7 +199,7 @@ def bench_sequence_em(instances, annotators, classes, t_max, repeats, rng) -> di
 
 
 # --------------------------------------------------------------------- #
-# Dawid–Skene EM (trajectory tracking, no before/after)
+# Dawid–Skene EM: sparse COO kernels vs. seed dense one-hot einsums
 # --------------------------------------------------------------------- #
 def bench_dawid_skene(instances, annotators, classes, iterations, repeats, rng) -> dict:
     labels = np.full((instances, annotators), MISSING, dtype=np.int64)
@@ -203,11 +212,91 @@ def bench_dawid_skene(instances, annotators, classes, iterations, repeats, rng) 
         labels[i, chosen] = noisy
     crowd = CrowdLabelMatrix(labels, classes)
     method = DawidSkene(max_iterations=iterations, tolerance=0.0)
-    seconds = best_of(lambda: method.infer(crowd), repeats)
+
+    def run_vectorized():
+        return method.infer(crowd)
+
+    def run_seed():
+        return seed_dawid_skene(labels, classes, max_iterations=iterations, tolerance=0.0)
+
+    result_new = run_vectorized()
+    posterior_old, confusions_old, _ = run_seed()
+    max_diff = float(
+        max(
+            np.abs(result_new.posterior - posterior_old).max(),
+            np.abs(result_new.confusions - confusions_old).max(),
+        )
+    )
+    if max_diff > 1e-10:
+        raise AssertionError(f"vectorized DS diverged from seed DS: {max_diff}")
+
+    vec_s, seed_s = np.inf, np.inf
+    for _ in range(repeats):
+        vec_s = min(vec_s, best_of(run_vectorized, 1))
+        seed_s = min(seed_s, best_of(run_seed, 1))
     return {
         "config": {"I": instances, "J": annotators, "K": classes,
                    "iterations": iterations},
-        "ms": seconds * 1e3,
+        "before_ms": seed_s * 1e3,
+        "after_ms": vec_s * 1e3,
+        "speedup": seed_s / vec_s,
+        "max_abs_diff": max_diff,
+    }
+
+
+# --------------------------------------------------------------------- #
+# HMM-Crowd/BSC-seq E-round: batched forward–backward vs. per-chain loop
+# --------------------------------------------------------------------- #
+def bench_forward_backward(instances, classes, t_max, repeats, rng) -> dict:
+    lengths = conll_like_lengths(rng, instances, t_max)
+    log_emissions = [np.log(rng.random((t, classes)) + 1e-3) for t in lengths]
+    transition = rng.dirichlet(np.ones(classes), size=classes)
+    initial = rng.dirichlet(np.ones(classes))
+    log_transition = np.log(transition)
+    log_initial = np.log(initial)
+
+    def run_batched():
+        # Padding is part of the E-round work the batched path really does.
+        padded = np.zeros((instances, t_max, classes))
+        for i, chain in enumerate(log_emissions):
+            padded[i, : lengths[i]] = chain
+        return batched_forward_backward(padded, log_transition, log_initial, lengths)
+
+    def run_seed():
+        gammas, xi_total, total_ll = [], np.zeros((classes, classes)), 0.0
+        for chain in log_emissions:
+            gamma, xi_sum, log_like = seed_forward_backward(chain, log_transition, log_initial)
+            gammas.append(gamma)
+            xi_total += xi_sum
+            total_ll += log_like
+        return gammas, xi_total, total_ll
+
+    gamma_new, xi_new, ll_new = run_batched()
+    gammas_old, xi_old, ll_old = run_seed()
+    max_diff = float(
+        max(
+            max(
+                np.abs(gamma_new[i, : lengths[i]] - gammas_old[i]).max()
+                for i in range(instances)
+            ),
+            np.abs(xi_new.sum(axis=0) - xi_old).max(),
+            abs(ll_new.sum() - ll_old),
+        )
+    )
+    if max_diff > 1e-10:
+        raise AssertionError(f"batched forward–backward diverged from seed: {max_diff}")
+
+    batched_s, seed_s = np.inf, np.inf
+    for _ in range(repeats):
+        batched_s = min(batched_s, best_of(run_batched, 1))
+        seed_s = min(seed_s, best_of(run_seed, 1))
+    return {
+        "config": {"I": instances, "K": classes, "T_max": t_max,
+                   "lengths": "geometric(mean≈14.5) clipped to T_max"},
+        "before_ms": seed_s * 1e3,
+        "after_ms": batched_s * 1e3,
+        "speedup": seed_s / batched_s,
+        "max_abs_diff": max_diff,
     }
 
 
@@ -219,6 +308,8 @@ def main(argv=None) -> int:
                         default=REPO_ROOT / "BENCH_hotpaths.json")
     parser.add_argument("--repeats", type=int, default=None,
                         help="override best-of-N repeat count")
+    parser.add_argument("--tag", default=None,
+                        help="also archive a full run to benchmarks/history/<tag>.json")
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(20260729)
@@ -227,6 +318,7 @@ def main(argv=None) -> int:
         gru_cfg = dict(batch=16, t_max=30, hidden=32, in_dim=64)
         em_cfg = dict(instances=60, annotators=47, classes=9, t_max=30)
         ds_cfg = dict(instances=300, annotators=47, classes=9, iterations=10)
+        fb_cfg = dict(instances=60, classes=9, t_max=30)
     else:
         repeats = args.repeats or 7
         # Paper scale: tagger batch 32, T=50, GRU hidden 50, conv width 512
@@ -234,6 +326,7 @@ def main(argv=None) -> int:
         gru_cfg = dict(batch=32, t_max=50, hidden=50, in_dim=512)
         em_cfg = dict(instances=300, annotators=47, classes=9, t_max=50)
         ds_cfg = dict(instances=2000, annotators=47, classes=9, iterations=50)
+        fb_cfg = dict(instances=300, classes=9, t_max=50)
 
     started = time.time()
     results = {
@@ -243,17 +336,29 @@ def main(argv=None) -> int:
         "gru": bench_gru(repeats=repeats, rng=rng, **gru_cfg),
         "sequence_em": bench_sequence_em(repeats=repeats, rng=rng, **em_cfg),
         "dawid_skene": bench_dawid_skene(repeats=max(repeats // 2, 1), rng=rng, **ds_cfg),
+        "forward_backward": bench_forward_backward(repeats=repeats, rng=rng, **fb_cfg),
     }
     results["wall_seconds"] = round(time.time() - started, 2)
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")
-    gru, em = results["gru"], results["sequence_em"]
-    print(f"GRU fwd+bwd : {gru['before_ms']:8.2f} ms → {gru['after_ms']:8.2f} ms "
-          f"({gru['speedup']:.2f}x, diff {gru['max_abs_diff']:.1e})")
-    print(f"sequence EM : {em['before_ms']:8.2f} ms → {em['after_ms']:8.2f} ms "
-          f"({em['speedup']:.2f}x, diff {em['max_abs_diff']:.1e})")
-    print(f"Dawid–Skene : {results['dawid_skene']['ms']:8.2f} ms")
+    for label, section in (
+        ("GRU fwd+bwd", "gru"),
+        ("sequence EM", "sequence_em"),
+        ("Dawid–Skene", "dawid_skene"),
+        ("forward–bwd", "forward_backward"),
+    ):
+        entry = results[section]
+        print(f"{label} : {entry['before_ms']:8.2f} ms → {entry['after_ms']:8.2f} ms "
+              f"({entry['speedup']:.2f}x, diff {entry['max_abs_diff']:.1e})")
     print(f"wrote {args.output}")
+    if args.tag:
+        if args.smoke:
+            print("--tag ignored for --smoke runs (history tracks full runs only)")
+        else:
+            HISTORY_DIR.mkdir(exist_ok=True)
+            history_path = HISTORY_DIR / f"{args.tag}.json"
+            history_path.write_text(json.dumps(results, indent=2) + "\n")
+            print(f"archived {history_path}")
     return 0
 
 

@@ -13,6 +13,10 @@ GRU training path uses:
 * ``seed_sequence_update_confusions`` / ``seed_sequence_posterior_qa`` —
   the per-sentence / per-annotator EM loops, including the seed's
   per-call ``annotators_of`` scan.
+* ``seed_dawid_skene`` — the seed DS EM: dense ``(I, J, K)`` one-hot
+  einsums every sweep (PR 2 replaced them with sparse COO kernels).
+* ``seed_forward_backward`` — the seed per-chain scaled forward–backward
+  with its per-timestep Python loops (PR 2 batches all chains per step).
 
 Do not "fix" or optimize anything here: it is a measurement baseline, not
 production code.
@@ -263,6 +267,99 @@ def seed_sequence_update_confusions(qf, labels, num_annotators, num_classes, smo
         for j in _seed_annotators_of(matrix):
             np.add.at(counts[j].T, matrix[:, j], gamma)
     return counts / counts.sum(axis=2, keepdims=True)
+
+
+def seed_majority_vote_posterior(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Seed MV posterior: ``np.add.at`` vote scatter over the dense matrix."""
+    I = labels.shape[0]
+    counts = np.zeros((I, num_classes), dtype=np.int64)
+    rows, cols = np.nonzero(labels != MISSING)
+    np.add.at(counts, (rows, labels[rows, cols]), 1)
+    counts = counts.astype(np.float64)
+    totals = counts.sum(axis=1, keepdims=True)
+    uniform = np.full((1, num_classes), 1.0 / num_classes)
+    return np.where(totals > 0, counts / np.where(totals > 0, totals, 1.0), uniform)
+
+
+def seed_one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Seed one-hot expansion: dense ``(I, J, K)`` with zero rows at MISSING."""
+    out = np.zeros((labels.shape[0], labels.shape[1], num_classes))
+    rows, cols = np.nonzero(labels != MISSING)
+    out[rows, cols, labels[rows, cols]] = 1.0
+    return out
+
+
+def seed_dawid_skene(
+    labels: np.ndarray,
+    num_classes: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    smoothing: float = 0.01,
+):
+    """Seed DS EM: dense one-hot einsums every sweep (commit ``cf64a19``)."""
+    one_hot = seed_one_hot(labels, num_classes)               # (I, J, K)
+    posterior = seed_majority_vote_posterior(labels, num_classes)
+
+    confusions = np.zeros((labels.shape[1], num_classes, num_classes))
+    iterations_used = max_iterations
+    for iteration in range(max_iterations):
+        counts = np.einsum("im,ijn->jmn", posterior, one_hot) + smoothing
+        confusions = counts / counts.sum(axis=2, keepdims=True)
+        prior = posterior.sum(axis=0) + smoothing
+        prior /= prior.sum()
+
+        log_confusions = np.log(confusions)
+        log_likelihood = np.einsum("ijn,jmn->im", one_hot, log_confusions)
+        log_posterior = np.log(prior)[None, :] + log_likelihood
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        new_posterior = np.exp(log_posterior)
+        new_posterior /= new_posterior.sum(axis=1, keepdims=True)
+
+        delta = float(np.abs(new_posterior - posterior).max())
+        posterior = new_posterior
+        if delta < tolerance:
+            iterations_used = iteration + 1
+            break
+    return posterior, confusions, iterations_used
+
+
+def seed_forward_backward(log_emissions, log_transition, log_initial):
+    """Seed per-chain scaled forward–backward (commit ``cf64a19``)."""
+    T, K = log_emissions.shape
+    emissions = np.exp(log_emissions - log_emissions.max(axis=1, keepdims=True))
+    transition = np.exp(log_transition)
+    initial = np.exp(log_initial - log_initial.max())
+    initial /= initial.sum()
+
+    alpha = np.zeros((T, K))
+    scales = np.zeros(T)
+    alpha[0] = initial * emissions[0]
+    scales[0] = alpha[0].sum()
+    alpha[0] /= scales[0]
+    for t in range(1, T):
+        alpha[t] = emissions[t] * (alpha[t - 1] @ transition)
+        scales[t] = alpha[t].sum()
+        if scales[t] <= 0:
+            raise ValueError(f"chain has no support at position {t}")
+        alpha[t] /= scales[t]
+
+    beta = np.ones((T, K))
+    for t in range(T - 2, -1, -1):
+        beta[t] = transition @ (emissions[t + 1] * beta[t + 1])
+        beta[t] /= max(beta[t].sum(), 1e-300)
+
+    gamma = alpha * beta
+    gamma /= gamma.sum(axis=1, keepdims=True)
+
+    xi_sum = np.zeros((K, K))
+    for t in range(T - 1):
+        xi = (alpha[t][:, None] * transition) * (emissions[t + 1] * beta[t + 1])[None, :]
+        total = xi.sum()
+        if total > 0:
+            xi_sum += xi / total
+
+    log_likelihood = float(np.log(scales).sum() + log_emissions.max(axis=1).sum())
+    return gamma, xi_sum, log_likelihood
 
 
 def seed_sequence_posterior_qa(proba, labels, confusions):

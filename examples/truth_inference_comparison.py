@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.crowd import AnnotatorPool, sample_confusion_matrix, simulate_classification_crowd
 from repro.eval import posterior_accuracy
-from repro.inference import CATD, GLAD, IBCC, PM, DawidSkene, MajorityVote
+from repro.inference import available_methods, build_method_table
 
 
 def make_pool(rng: np.random.Generator, num_annotators: int, spammer_fraction: float) -> AnnotatorPool:
@@ -30,14 +30,9 @@ def make_pool(rng: np.random.Generator, num_annotators: int, spammer_fraction: f
 
 
 def main() -> None:
-    methods = {
-        "MV": MajorityVote(),
-        "DS": DawidSkene(),
-        "GLAD": GLAD(),
-        "PM": PM(),
-        "CATD": CATD(),
-        "IBCC": IBCC(),
-    }
+    # Every registered classification method, in registration order — a
+    # newly registered method joins the comparison with no edits here.
+    methods = build_method_table(available_methods("classification"), kind="classification")
     print(f"{'redundancy':>10} {'spammers':>9} | " + " ".join(f"{m:>7}" for m in methods))
     print("-" * 75)
     for redundancy in (2.0, 4.0, 6.0):

@@ -10,13 +10,13 @@ rule-free special case).
 Sequence versions treat each (sentence, token) as an instance whose
 annotator set is the sentence's annotator set.
 
-Performance: the sequence functions are fully vectorized. The ragged
-per-sentence label matrices are flattened once into a cached ``(ΣT_i, J)``
-token × annotator matrix (:meth:`SequenceCrowdLabels.flat_labels`); the
-confusion-count scatter (Eq. 12) and the per-annotator log-likelihood
-gather (Eq. 13) then reduce to a handful of ``bincount``/fancy-index calls
-over the ``(token, annotator)`` pairs that actually carry labels — no
-Python loop over sentences or annotators. The original loop
+Performance: all four functions run on the shared sparse-crowd kernels of
+:mod:`repro.inference.primitives` — the same confusion-count scatter and
+log-likelihood gather that DS/IBCC/HMM-Crowd/BSC-seq use. Both crowd
+containers cache their flat COO views (``flat_label_pairs`` plus a sparse
+instance × (annotator, label) incidence), so each update is one
+sparse–dense product (or one ``bincount`` per class without scipy) — no
+Python loop over instances, sentences, or annotators. The original loop
 implementations are kept as ``*_reference`` functions: they are the
 executable specification, used by the equivalence tests and as the
 "before" side of ``benchmarks/bench_hotpaths.py``.
@@ -27,6 +27,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
+from ..inference.primitives import (
+    confusion_counts,
+    emission_log_likelihood,
+    normalize_log_posterior,
+    split_by_offsets,
+)
 
 __all__ = [
     "update_confusions",
@@ -51,8 +57,7 @@ def update_confusions(
         raise ValueError(
             f"qf shape {qf.shape} != ({crowd.num_instances}, {crowd.num_classes})"
         )
-    one_hot = crowd.one_hot()                                 # (I, J, K)
-    numerator = np.einsum("im,ijn->jmn", qf, one_hot) + smoothing
+    numerator = confusion_counts(qf, crowd) + smoothing
     row_sums = numerator.sum(axis=2, keepdims=True)
     # Rows with no mass (annotator never labeled anything attributed to
     # class m, and smoothing == 0) fall back to uniform.
@@ -74,13 +79,8 @@ def posterior_qa(
         raise ValueError(
             f"confusions shape {confusions.shape} != ({crowd.num_annotators}, {K}, {K})"
         )
-    one_hot = crowd.one_hot()
-    log_likelihood = np.einsum("ijn,jkn->ik", one_hot, np.log(confusions + 1e-300))
-    log_posterior = np.log(proba + 1e-300) + log_likelihood
-    log_posterior -= log_posterior.max(axis=1, keepdims=True)
-    posterior = np.exp(log_posterior)
-    posterior /= posterior.sum(axis=1, keepdims=True)
-    return posterior
+    log_likelihood = emission_log_likelihood(crowd, np.log(confusions + 1e-300))
+    return normalize_log_posterior(np.log(proba + 1e-300) + log_likelihood)
 
 
 def _stack_ragged(arrays: list[np.ndarray], crowd: SequenceCrowdLabels) -> np.ndarray:
@@ -101,26 +101,13 @@ def sequence_update_confusions(
     """Token-level Eq. 12 over all sentences, vectorized.
 
     Every labeled ``(token, annotator)`` pair contributes the token's
-    posterior row ``qf[t, :]`` to ``counts[j, :, y_tj]``. Grouping pairs by
-    the composite key ``j * K + y`` turns the whole scatter into one
-    ``bincount`` per true class — K calls total, independent of I and J.
-    Matches :func:`sequence_update_confusions_reference` exactly.
+    posterior row ``qf[t, :]`` to ``counts[j, :, y_tj]`` — the shared
+    :func:`repro.inference.primitives.confusion_counts` kernel (one sparse
+    matmul, or one ``bincount`` per true class without scipy). Matches
+    :func:`sequence_update_confusions_reference` exactly.
     """
-    K = crowd.num_classes
-    J = crowd.num_annotators
     gamma = _stack_ragged(qf, crowd)                          # (N, K)
-    incidence = crowd.token_label_incidence()                 # (N, J·K) sparse
-    if incidence is not None:
-        summed = np.asarray(incidence.T @ gamma)              # one spMM
-    else:  # scipy unavailable: bincount per true class
-        tokens, annotators, given = crowd.flat_label_pairs()
-        key = annotators * K + given
-        gathered = gamma[tokens]
-        summed = np.empty((J * K, K))
-        for m in range(K):
-            summed[:, m] = np.bincount(key, weights=gathered[:, m], minlength=J * K)
-    # summed[(j, n), m] → counts[j, m, n]
-    counts = summed.reshape(J, K, K).transpose(0, 2, 1) + smoothing
+    counts = confusion_counts(gamma, crowd) + smoothing
     return counts / counts.sum(axis=2, keepdims=True)
 
 
@@ -129,36 +116,17 @@ def sequence_posterior_qa(
 ) -> list[np.ndarray]:
     """Token-level Eq. 13 for every sentence, vectorized.
 
-    The per-annotator likelihood rows ``log π_j[:, y_tj]`` are gathered for
-    all labeled ``(token, annotator)`` pairs in one fancy index and summed
-    into each token with one ``bincount`` per class. Matches
+    The per-annotator likelihood rows ``log π_j[:, y_tj]`` are gathered and
+    summed into each token by the shared
+    :func:`repro.inference.primitives.emission_log_likelihood` kernel (one
+    sparse matmul, or one ``bincount`` per class without scipy). Matches
     :func:`sequence_posterior_qa_reference` exactly.
     """
-    K = crowd.num_classes
-    J = crowd.num_annotators
-    log_confusions = np.log(confusions + 1e-300)              # (J, K, K)
     p = _stack_ragged(proba, crowd)                           # (N, K)
     _, offsets = crowd.flat_labels()
     log_posterior = np.log(p + 1e-300)
-    # (J·K, K): row (j, y) holds log π_j[:, y] — the per-class likelihood
-    # of annotator j emitting label y.
-    by_label = np.ascontiguousarray(log_confusions.transpose(0, 2, 1)).reshape(J * K, K)
-    incidence = crowd.token_label_incidence()                 # (N, J·K) sparse
-    if incidence is not None:
-        log_posterior += np.asarray(incidence @ by_label)     # one spMM
-    else:  # scipy unavailable: bincount per class
-        tokens, annotators, given = crowd.flat_label_pairs()
-        if tokens.size:
-            contrib = by_label[annotators * K + given]
-            N = log_posterior.shape[0]
-            for k in range(K):
-                log_posterior[:, k] += np.bincount(tokens, weights=contrib[:, k], minlength=N)
-    log_posterior -= log_posterior.max(axis=1, keepdims=True)
-    posterior = np.exp(log_posterior)
-    posterior /= posterior.sum(axis=1, keepdims=True)
-    return [
-        posterior[offsets[i] : offsets[i + 1]] for i in range(crowd.num_instances)
-    ]
+    log_posterior += emission_log_likelihood(crowd, np.log(confusions + 1e-300))
+    return split_by_offsets(normalize_log_posterior(log_posterior), offsets)
 
 
 def sequence_update_confusions_reference(

@@ -35,6 +35,15 @@ class CrowdLabelMatrix:
         :data:`MISSING`.
     num_classes:
         Number of classes ``K``.
+
+    The labels are treated as immutable after construction (every mutating
+    operation, e.g. :meth:`subset`, builds a new container), which lets the
+    flat COO views below — the ``(n_obs,)`` index arrays of
+    :meth:`flat_label_pairs` and the sparse instance × (annotator, label)
+    incidence of :meth:`label_incidence` — be computed once and cached.
+    Vote counts, one-hot expansion, and the confusion-count/E-step kernels
+    in :mod:`repro.inference.primitives` all run off these views as single
+    bincounts/matmuls instead of ``(I, J, K)`` dense scans.
     """
 
     def __init__(self, labels: np.ndarray, num_classes: int) -> None:
@@ -63,8 +72,12 @@ class CrowdLabelMatrix:
 
     @property
     def observed_mask(self) -> np.ndarray:
-        """Boolean ``(I, J)``: which cells carry a label."""
-        return self.labels != MISSING
+        """Boolean ``(I, J)``: which cells carry a label (cached)."""
+        cached = getattr(self, "_observed_mask_cache", None)
+        if cached is None:
+            cached = self.labels != MISSING
+            self._observed_mask_cache = cached
+        return cached
 
     def annotations_per_instance(self) -> np.ndarray:
         """``num(J(i))`` of paper Eq. 5: labels per instance, shape ``(I,)``."""
@@ -77,18 +90,60 @@ class CrowdLabelMatrix:
     def total_annotations(self) -> int:
         return int(self.observed_mask.sum())
 
+    def flat_label_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(instance, annotator, label)`` triples of observed cells.
+
+        The ``(n_obs,)`` COO view of the matrix; the shared kernels in
+        :mod:`repro.inference.primitives` scatter/gather over these triples
+        instead of scanning the dense ``(I, J)`` matrix (or its ``(I, J, K)``
+        one-hot expansion) every EM round.
+        """
+        cached = getattr(self, "_flat_pairs_cache", None)
+        if cached is None:
+            rows, cols = np.nonzero(self.observed_mask)
+            cached = (rows, cols, self.labels[rows, cols])
+            self._flat_pairs_cache = cached
+        return cached
+
+    def label_incidence(self):
+        """Cached sparse ``(I, J·K)`` incidence of observed labels.
+
+        Entry ``(i, j·K + y)`` is 1 when annotator ``j`` gave instance ``i``
+        label ``y`` — the classification twin of
+        :meth:`SequenceCrowdLabels.token_label_incidence`. Confusion-count
+        accumulation and the per-instance log-likelihood gather are then
+        single sparse–dense products. Returns None when scipy is
+        unavailable (callers fall back to bincount accumulation).
+        """
+        cached = getattr(self, "_incidence_cache", None)
+        if cached is None:
+            try:
+                from scipy.sparse import csr_matrix
+            except ImportError:
+                cached = (None,)
+            else:
+                rows, cols, given = self.flat_label_pairs()
+                group = cols * self.num_classes + given
+                matrix = csr_matrix(
+                    (np.ones(rows.size), (rows, group)),
+                    shape=(self.num_instances, self.num_annotators * self.num_classes),
+                )
+                cached = (matrix,)
+            self._incidence_cache = cached
+        return cached[0]
+
     def vote_counts(self) -> np.ndarray:
         """Per-instance class vote counts, shape ``(I, K)``."""
-        counts = np.zeros((self.num_instances, self.num_classes), dtype=np.int64)
-        rows, cols = np.nonzero(self.observed_mask)
-        np.add.at(counts, (rows, self.labels[rows, cols]), 1)
-        return counts
+        rows, _, given = self.flat_label_pairs()
+        key = rows * self.num_classes + given
+        counts = np.bincount(key, minlength=self.num_instances * self.num_classes)
+        return counts.reshape(self.num_instances, self.num_classes)
 
     def one_hot(self) -> np.ndarray:
         """``(I, J, K)`` one-hot labels (zero rows where missing)."""
         out = np.zeros((self.num_instances, self.num_annotators, self.num_classes))
-        rows, cols = np.nonzero(self.observed_mask)
-        out[rows, cols, self.labels[rows, cols]] = 1.0
+        rows, cols, given = self.flat_label_pairs()
+        out[rows, cols, given] = 1.0
         return out
 
     def subset(self, indices: np.ndarray) -> "CrowdLabelMatrix":

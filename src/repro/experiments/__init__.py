@@ -21,10 +21,12 @@ from .ablation_suite import (
 )
 from .ner_suite import (
     NER_INFERENCE_METHODS,
+    NER_INFERENCE_OVERRIDES,
     NER_METHODS,
     PAPER_TABLE3,
     NERBenchConfig,
     build_ner_data,
+    ner_inference_table,
     run_ner_inference_method,
     run_ner_method,
 )
@@ -43,7 +45,7 @@ from .sentiment_suite import (
     build_sentiment_data,
     run_sentiment_method,
 )
-from .sentiment_suite import run_sentiment_inference_method
+from .sentiment_suite import run_sentiment_inference_method, sentiment_inference_table
 
 __all__ = [
     "Row",
@@ -54,6 +56,7 @@ __all__ = [
     "build_sentiment_data",
     "run_sentiment_method",
     "run_sentiment_inference_method",
+    "sentiment_inference_table",
     "SENTIMENT_METHODS",
     "SENTIMENT_INFERENCE_METHODS",
     "PAPER_TABLE2",
@@ -61,8 +64,10 @@ __all__ = [
     "build_ner_data",
     "run_ner_method",
     "run_ner_inference_method",
+    "ner_inference_table",
     "NER_METHODS",
     "NER_INFERENCE_METHODS",
+    "NER_INFERENCE_OVERRIDES",
     "PAPER_TABLE3",
     "ABLATION_METHODS",
     "PAPER_TABLE4",

@@ -22,7 +22,7 @@ from ..baselines import TrainerConfig, TwoStageClassifier, TwoStageSequenceTagge
 from ..core import LogicLNCLClassifier, LogicLNCLSequenceTagger, ner_paper_config, sentiment_paper_config
 from ..data import CONLL_LABELS
 from ..eval import accuracy, posterior_accuracy, span_f1_score
-from ..inference import GLAD, MajorityVote, TokenLevelInference, majority_vote_posterior
+from ..inference import get_method, majority_vote_posterior
 from ..logic import ButRule, bio_transition_rules
 from .ner_suite import NERBenchConfig, _lncl_config, _tagger, _trainer_config as _ner_trainer_config
 from .sentiment_suite import SentimentBenchConfig, _cnn, _trainer_config as _sent_trainer_config
@@ -82,7 +82,7 @@ def run_sentiment_ablation(
             teacher=False,
         )
     if name == "GLAD-Rule":
-        fixed = GLAD().infer(train.crowd).posterior
+        fixed = get_method("GLAD").infer(train.crowd).posterior
         return scored(
             LogicLNCLClassifier(_cnn(task, config, seed), lncl_config, rng,
                                 rule=but_rule, fixed_qa=fixed),
@@ -95,7 +95,7 @@ def run_sentiment_ablation(
         )
     if name == "MV-t":
         method = TwoStageClassifier(
-            _cnn(task, config, seed), MajorityVote(), _sent_trainer_config(config), rng,
+            _cnn(task, config, seed), get_method("MV"), _sent_trainer_config(config), rng,
             test_rule=but_rule, C=lncl_config.C,
         )
         method.fit(train, dev)
@@ -137,7 +137,8 @@ def run_ner_ablation(name: str, task, config: NERBenchConfig, seed: int) -> dict
 
     if name == "MV-Rule":
         fixed = [
-            posterior for posterior in TokenLevelInference(MajorityVote()).infer(train.crowd).posteriors
+            posterior
+            for posterior in get_method("MV", kind="sequence").infer(train.crowd).posteriors
         ]
         return scored(
             LogicLNCLSequenceTagger(_tagger(task, config, seed), lncl_config, rng,
@@ -163,7 +164,7 @@ def run_ner_ablation(name: str, task, config: NERBenchConfig, seed: int) -> dict
         )
     if name == "MV-t":
         method = TwoStageSequenceTagger(
-            _tagger(task, config, seed), TokenLevelInference(MajorityVote()),
+            _tagger(task, config, seed), get_method("MV", kind="sequence"),
             _ner_trainer_config(config), rng, test_rules=rules, C=lncl_config.C,
         )
         method.fit(train, dev)

@@ -16,7 +16,7 @@ from ..core import LogicLNCLSequenceTagger, ner_paper_config
 from ..crowd import sample_ner_pool, simulate_ner_crowd
 from ..data import CONLL_LABELS, NERCorpusConfig, NERTask, make_ner_task
 from ..eval import span_f1_score
-from ..inference import BSCSeq, DawidSkene, HMMCrowd, IBCC, MajorityVote, TokenLevelInference
+from ..inference import build_method_table, get_method
 from ..logic import bio_transition_rules
 from ..models import NERTagger, NERTaggerConfig
 
@@ -25,8 +25,10 @@ __all__ = [
     "build_ner_data",
     "run_ner_method",
     "run_ner_inference_method",
+    "ner_inference_table",
     "NER_METHODS",
     "NER_INFERENCE_METHODS",
+    "NER_INFERENCE_OVERRIDES",
     "PAPER_TABLE3",
 ]
 
@@ -143,7 +145,7 @@ def run_ner_method(
 
     if name == "MV-Classifier":
         method = TwoStageSequenceTagger(
-            _tagger(task, config, seed), TokenLevelInference(MajorityVote()),
+            _tagger(task, config, seed), get_method("MV", kind="sequence"),
             _trainer_config(config), rng,
         )
         method.fit(train, dev)
@@ -188,18 +190,28 @@ def run_ner_method(
     raise KeyError(f"unknown NER method {name!r}")
 
 
+# Suite-level iteration budgets for the sequential methods (bench scale).
+NER_INFERENCE_OVERRIDES = {
+    "BSC-seq": {"max_iterations": 15},
+    "HMM-Crowd": {"max_iterations": 15},
+}
+
+
+def ner_inference_table() -> dict[str, object]:
+    """The Table III truth-inference block, built from the registry."""
+    return build_method_table(
+        NER_INFERENCE_METHODS, kind="sequence", overrides=NER_INFERENCE_OVERRIDES
+    )
+
+
 def run_ner_inference_method(name: str, task: NERTask) -> dict[str, float]:
-    """Score one sequence truth-inference method (Table III lower block)."""
-    methods = {
-        "MV": TokenLevelInference(MajorityVote()),
-        "DS": TokenLevelInference(DawidSkene()),
-        "IBCC": TokenLevelInference(IBCC()),
-        "BSC-seq": BSCSeq(max_iterations=15),
-        "HMM-Crowd": HMMCrowd(max_iterations=15),
-    }
-    if name not in methods:
-        raise KeyError(f"unknown truth-inference method {name!r}")
-    result = methods[name].infer(task.train.crowd)
+    """Score one sequence truth-inference method (Table III lower block).
+
+    Methods resolve through :mod:`repro.inference.registry`; any name in
+    ``available_methods("sequence")`` works here.
+    """
+    method = get_method(name, kind="sequence", **NER_INFERENCE_OVERRIDES.get(name, {}))
+    result = method.infer(task.train.crowd)
     return _prf(task.train.tags, result.hard_labels(), "inf_")
 
 

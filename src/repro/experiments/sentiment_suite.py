@@ -23,7 +23,7 @@ from ..core import LogicLNCLClassifier, sentiment_paper_config
 from ..crowd import sample_annotator_pool, simulate_classification_crowd
 from ..data import SentimentCorpusConfig, SentimentTask, make_sentiment_task
 from ..eval import accuracy, posterior_accuracy
-from ..inference import CATD, GLAD, PM, DawidSkene, MajorityVote, majority_vote_posterior
+from ..inference import build_method_table, get_method
 from ..logic import ButRule
 from ..models import TextCNN, TextCNNConfig
 
@@ -31,6 +31,7 @@ __all__ = [
     "SentimentBenchConfig",
     "build_sentiment_data",
     "run_sentiment_method",
+    "sentiment_inference_table",
     "SENTIMENT_METHODS",
     "SENTIMENT_INFERENCE_METHODS",
     "PAPER_TABLE2",
@@ -141,11 +142,11 @@ def run_sentiment_method(
     lncl_config = sentiment_paper_config(epochs=config.epochs)
 
     if name == "MV-Classifier":
-        method = TwoStageClassifier(_cnn(task, config, seed), MajorityVote(), _trainer_config(config), rng)
+        method = TwoStageClassifier(_cnn(task, config, seed), get_method("MV"), _trainer_config(config), rng)
         method.fit(train, dev)
         return _score_two_stage(method, task)
     if name == "GLAD-Classifier":
-        method = TwoStageClassifier(_cnn(task, config, seed), GLAD(), _trainer_config(config), rng)
+        method = TwoStageClassifier(_cnn(task, config, seed), get_method("GLAD"), _trainer_config(config), rng)
         method.fit(train, dev)
         return _score_two_stage(method, task)
     if name == "Raykar":
@@ -190,18 +191,18 @@ def run_sentiment_method(
     raise KeyError(f"unknown sentiment method {name!r}")
 
 
+def sentiment_inference_table() -> dict[str, object]:
+    """The Table II truth-inference block, built from the registry."""
+    return build_method_table(SENTIMENT_INFERENCE_METHODS, kind="classification")
+
+
 def run_sentiment_inference_method(name: str, task: SentimentTask) -> dict[str, float]:
-    """Score one pure truth-inference method (Table II lower block)."""
-    methods = {
-        "MV": MajorityVote(),
-        "DS": DawidSkene(),
-        "GLAD": GLAD(),
-        "PM": PM(),
-        "CATD": CATD(),
-    }
-    if name not in methods:
-        raise KeyError(f"unknown truth-inference method {name!r}")
-    result = methods[name].infer(task.train.crowd)
+    """Score one pure truth-inference method (Table II lower block).
+
+    Methods resolve through :mod:`repro.inference.registry`; any name in
+    ``available_methods("classification")`` works here.
+    """
+    result = get_method(name, kind="classification").infer(task.train.crowd)
     return {"inference": posterior_accuracy(task.train.labels, result.posterior)}
 
 

@@ -1,30 +1,89 @@
-"""Truth-inference baselines (Tables II/III "Truth Inference" blocks)."""
+"""Truth-inference baselines (Tables II/III "Truth Inference" blocks).
 
-from .base import InferenceResult, SequenceInferenceResult, TruthInferenceMethod
-from .bsc_seq import BSCSeq
+Architecture — three layers over one sparse-crowd core:
+
+1. **Primitives** (:mod:`~repro.inference.primitives`): vectorized kernels
+   shared by every method — confusion-count scatter, emission
+   log-likelihood gather, log-space normalization, and a batched
+   length-masked forward–backward over padded ``(I, T_max, K)`` emissions.
+   They run on the cached flat COO views both crowd containers expose
+   (``flat_label_pairs`` + a sparse instance × (annotator, label)
+   incidence), so each EM update is a sparse–dense matmul or a
+   ``bincount`` per class — never a Python loop over instances or
+   annotators. :mod:`repro.core.em` (Logic-LNCL's pseudo-E/M) reuses the
+   same kernels.
+
+2. **Methods**: each module implements one method on the primitives, with
+   a shared convergence/diagnostics contract
+   (:class:`~repro.inference.base.ConvergenceMonitor` → ``iterations``,
+   ``last_change``, ``converged``, ``log_likelihood_trace`` in
+   ``extras``). Pre-refactor implementations are kept as ``*_reference``
+   functions — executable specifications pinned by equivalence tests at
+   atol 1e-10 and timed as the "before" side in
+   ``benchmarks/bench_hotpaths.py``.
+
+3. **Registry** (:mod:`~repro.inference.registry`): the single name →
+   factory table the experiment suites and examples resolve through. To
+   add a method: implement ``infer`` (subclass
+   :class:`~repro.inference.base.TruthInferenceMethod` for classification
+   crowds), then ``register("MyMethod", "classification", MyMethod)`` —
+   it immediately becomes available to every suite via
+   ``get_method``/``build_method_table``, and the interface-contract tests
+   in ``tests/inference/test_registry.py`` cover it automatically.
+"""
+
+from .base import (
+    ConvergenceMonitor,
+    InferenceResult,
+    SequenceInferenceResult,
+    TruthInferenceMethod,
+)
+from .bsc_seq import BSCSeq, bsc_seq_reference
 from .catd import CATD
-from .dawid_skene import DawidSkene
+from .dawid_skene import DawidSkene, dawid_skene_reference
 from .glad import GLAD
-from .hmm_crowd import HMMCrowd, forward_backward
-from .ibcc import IBCC
+from .hmm_crowd import HMMCrowd, forward_backward, hmm_crowd_reference
+from .ibcc import IBCC, ibcc_reference
 from .majority_vote import MajorityVote, majority_vote_posterior
 from .pm import PM
+from .primitives import (
+    batched_forward_backward,
+    confusion_counts,
+    emission_log_likelihood,
+    normalize_log_posterior,
+    pad_ragged,
+)
+from .registry import available_methods, build_method_table, get_method, register
 from .sequence_utils import TokenLevelInference, flatten_sequence_crowd
 
 __all__ = [
     "InferenceResult",
     "SequenceInferenceResult",
     "TruthInferenceMethod",
+    "ConvergenceMonitor",
     "MajorityVote",
     "majority_vote_posterior",
     "DawidSkene",
+    "dawid_skene_reference",
     "GLAD",
     "PM",
     "CATD",
     "IBCC",
+    "ibcc_reference",
     "HMMCrowd",
+    "hmm_crowd_reference",
     "BSCSeq",
+    "bsc_seq_reference",
     "forward_backward",
+    "batched_forward_backward",
+    "confusion_counts",
+    "emission_log_likelihood",
+    "normalize_log_posterior",
+    "pad_ragged",
+    "register",
+    "get_method",
+    "available_methods",
+    "build_method_table",
     "TokenLevelInference",
     "flatten_sequence_crowd",
 ]

@@ -14,7 +14,54 @@ import numpy as np
 
 from ..crowd.types import CrowdLabelMatrix
 
-__all__ = ["InferenceResult", "TruthInferenceMethod", "SequenceInferenceResult"]
+__all__ = [
+    "InferenceResult",
+    "TruthInferenceMethod",
+    "SequenceInferenceResult",
+    "ConvergenceMonitor",
+]
+
+
+class ConvergenceMonitor:
+    """Shared convergence bookkeeping for the iterative methods.
+
+    Every EM/VB method (DS, IBCC, HMM-Crowd, BSC-seq) tracks the same
+    things: how many sweeps ran, the change that was last measured (the one
+    that actually triggered convergence, not the previous sweep's), and an
+    optional log-likelihood trace. Methods call :meth:`step` once per sweep
+    and splice :meth:`extras` into their result, so diagnostics keys are
+    identical across the subsystem.
+    """
+
+    def __init__(self, tolerance: float, max_iterations: int) -> None:
+        if max_iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.iterations = 0
+        self.last_change = float("inf")
+        self.converged = False
+        self.log_likelihood_trace: list[float] = []
+
+    def step(self, change: float, log_likelihood: float | None = None) -> bool:
+        """Record one sweep; returns True when the loop should stop."""
+        self.iterations += 1
+        self.last_change = float(change)
+        if log_likelihood is not None:
+            self.log_likelihood_trace.append(float(log_likelihood))
+        self.converged = self.last_change < self.tolerance
+        return self.converged or self.iterations >= self.max_iterations
+
+    def extras(self) -> dict:
+        """Common diagnostics block for ``InferenceResult.extras``."""
+        out = {
+            "iterations": self.iterations,
+            "last_change": self.last_change,
+            "converged": self.converged,
+        }
+        if self.log_likelihood_trace:
+            out["log_likelihood_trace"] = list(self.log_likelihood_trace)
+        return out
 
 
 @dataclass

@@ -15,7 +15,11 @@ weight update with weighted voting, using the squared distance
 from __future__ import annotations
 
 import numpy as np
-from scipy import stats
+
+try:
+    from scipy import stats
+except ImportError:  # keep the package importable; CATD itself needs scipy
+    stats = None
 
 from ..crowd.types import CrowdLabelMatrix
 from .base import InferenceResult, TruthInferenceMethod
@@ -30,6 +34,8 @@ class CATD(TruthInferenceMethod):
     name = "CATD"
 
     def __init__(self, max_iterations: int = 50, tolerance: float = 1e-6, alpha: float = 0.05) -> None:
+        if stats is None:
+            raise ImportError("CATD needs scipy (scipy.stats)")
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
         self.max_iterations = max_iterations

@@ -4,6 +4,15 @@ The grandfather of the paper's probabilistic model family (§VII). Latent
 true labels, per-annotator confusion matrices, class prior; EM alternates
 Bayes-rule posteriors with closed-form count updates. Laplace smoothing
 keeps confusion rows proper on sparse annotators.
+
+Performance: both EM steps run on the crowd's cached flat COO views via
+:mod:`repro.inference.primitives` — the confusion-count scatter and the
+per-instance log-likelihood gather are each one sparse–dense product over
+the observed ``(instance, annotator)`` pairs, instead of dense einsums
+over the mostly-zero ``(I, J, K)`` one-hot expansion. The pre-refactor
+implementation is kept as :func:`dawid_skene_reference` (the executable
+specification); equivalence at atol 1e-10 is enforced by
+``tests/inference/test_method_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -11,10 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..crowd.types import CrowdLabelMatrix
-from .base import InferenceResult, TruthInferenceMethod
+from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
+from .primitives import confusion_counts, emission_log_likelihood
 
-__all__ = ["DawidSkene"]
+__all__ = ["DawidSkene", "dawid_skene_reference"]
 
 
 class DawidSkene(TruthInferenceMethod):
@@ -43,36 +53,79 @@ class DawidSkene(TruthInferenceMethod):
 
     def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
         self._check_nonempty(crowd)
-        I, J = crowd.num_instances, crowd.num_annotators
-        K = crowd.num_classes
-        one_hot = crowd.one_hot()                       # (I, J, K)
         posterior = majority_vote_posterior(crowd)
+        monitor = ConvergenceMonitor(self.tolerance, self.max_iterations)
 
-        confusions = np.zeros((J, K, K))
-        iterations_used = self.max_iterations
-        for iteration in range(self.max_iterations):
+        confusions = np.zeros((crowd.num_annotators, crowd.num_classes, crowd.num_classes))
+        while True:
             # M-step: confusion counts and class prior from soft assignments.
-            counts = np.einsum("im,ijn->jmn", posterior, one_hot) + self.smoothing
+            counts = confusion_counts(posterior, crowd) + self.smoothing
             confusions = counts / counts.sum(axis=2, keepdims=True)
             prior = posterior.sum(axis=0) + self.smoothing
             prior /= prior.sum()
 
             # E-step in log space: log q(t_i=m) = log p_m + Σ_j log π_j[m, y_ij].
-            log_confusions = np.log(confusions)
-            log_likelihood = np.einsum("ijn,jmn->im", one_hot, log_confusions)
-            log_posterior = np.log(prior)[None, :] + log_likelihood
-            log_posterior -= log_posterior.max(axis=1, keepdims=True)
-            new_posterior = np.exp(log_posterior)
-            new_posterior /= new_posterior.sum(axis=1, keepdims=True)
+            log_posterior = np.log(prior)[None, :] + emission_log_likelihood(
+                crowd, np.log(confusions)
+            )
+            shift = log_posterior.max(axis=1, keepdims=True)
+            unnormalized = np.exp(log_posterior - shift)
+            normalizer = unnormalized.sum(axis=1, keepdims=True)
+            log_likelihood = float((shift[:, 0] + np.log(normalizer[:, 0])).sum())
+            new_posterior = unnormalized / normalizer
 
             delta = float(np.abs(new_posterior - posterior).max())
             posterior = new_posterior
-            if delta < self.tolerance:
-                iterations_used = iteration + 1
+            if monitor.step(delta, log_likelihood):
                 break
 
         return InferenceResult(
             posterior=posterior,
             confusions=confusions,
-            extras={"iterations": iterations_used},
+            extras=monitor.extras(),
         )
+
+
+def dawid_skene_reference(
+    crowd: CrowdLabelMatrix,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    smoothing: float = 0.01,
+) -> InferenceResult:
+    """Pre-refactor DS EM (dense one-hot einsums over ``(I, J, K)``).
+
+    Kept as the executable specification for the equivalence tests and the
+    benchmark baseline; use :class:`DawidSkene`.
+    """
+    TruthInferenceMethod._check_nonempty(crowd)
+    J = crowd.num_annotators
+    K = crowd.num_classes
+    one_hot = crowd.one_hot()                       # (I, J, K)
+    posterior = majority_vote_posterior(crowd)
+
+    confusions = np.zeros((J, K, K))
+    iterations_used = max_iterations
+    for iteration in range(max_iterations):
+        counts = np.einsum("im,ijn->jmn", posterior, one_hot) + smoothing
+        confusions = counts / counts.sum(axis=2, keepdims=True)
+        prior = posterior.sum(axis=0) + smoothing
+        prior /= prior.sum()
+
+        log_confusions = np.log(confusions)
+        log_likelihood = np.einsum("ijn,jmn->im", one_hot, log_confusions)
+        log_posterior = np.log(prior)[None, :] + log_likelihood
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        new_posterior = np.exp(log_posterior)
+        new_posterior /= new_posterior.sum(axis=1, keepdims=True)
+
+        delta = float(np.abs(new_posterior - posterior).max())
+        posterior = new_posterior
+        if delta < tolerance:
+            iterations_used = iteration + 1
+            break
+
+    return InferenceResult(
+        posterior=posterior,
+        confusions=confusions,
+        extras={"iterations": iterations_used},
+    )

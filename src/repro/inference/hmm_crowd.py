@@ -11,6 +11,16 @@ emits labels through a per-annotator confusion matrix. EM:
 
 The transition matrix is what lets the method repair boundary errors that
 token-independent aggregation (MV/DS) cannot.
+
+Performance: the E-step runs :func:`repro.inference.primitives.\
+batched_forward_backward` over padded ``(I, T_max, K)`` emissions — every
+timestep is one matmul across all sentences — and both the emission
+build-up and the confusion-count M-step are sparse products over the
+crowd's cached flat token views. The per-chain :func:`forward_backward`
+and the pre-refactor EM loop (:func:`hmm_crowd_reference`) are kept as
+executable specifications; equivalence at atol 1e-10 is enforced by
+``tests/inference/test_primitives.py`` and
+``tests/inference/test_method_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -18,15 +28,27 @@ from __future__ import annotations
 import numpy as np
 
 from ..crowd.types import SequenceCrowdLabels
-from .base import SequenceInferenceResult
+from .base import ConvergenceMonitor, SequenceInferenceResult
+from .primitives import (
+    batched_forward_backward,
+    confusion_counts,
+    emission_log_likelihood,
+    flat_chain_views,
+    scatter_to_padded,
+    split_by_offsets,
+    token_majority_vote_flat,
+)
 
-__all__ = ["HMMCrowd", "forward_backward"]
+__all__ = ["HMMCrowd", "forward_backward", "hmm_crowd_reference"]
 
 
 def forward_backward(
     log_emissions: np.ndarray, log_transition: np.ndarray, log_initial: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Scaled forward–backward on one chain.
+
+    The single-chain executable specification for
+    :func:`repro.inference.primitives.batched_forward_backward`.
 
     Parameters
     ----------
@@ -93,76 +115,143 @@ class HMMCrowd:
         self.tolerance = tolerance
         self.smoothing = smoothing
 
-    # ------------------------------------------------------------------ #
-    def _log_emissions(
-        self, crowd: SequenceCrowdLabels, instance: int, log_confusions: np.ndarray
-    ) -> np.ndarray:
-        """``(T, K)`` log Π_j π_j[m, y_tj] for one sentence."""
-        matrix = crowd.labels[instance]
-        T = matrix.shape[0]
+    def infer(self, crowd: SequenceCrowdLabels) -> SequenceInferenceResult:
         K = crowd.num_classes
-        out = np.zeros((T, K))
+        offsets, lengths, starts, chain_index, time_index, T_max = flat_chain_views(crowd)
+        transition = np.full((K, K), 1.0 / K)
+        initial = np.full(K, 1.0 / K)
+        if T_max == 0:
+            # Degenerate crowd (no sentences, or only empty ones): nothing
+            # to infer; parameters stay at their uniform initialization.
+            return SequenceInferenceResult(
+                posteriors=[np.zeros((0, K)) for _ in range(crowd.num_instances)],
+                confusions=np.full((crowd.num_annotators, K, K), 1.0 / K),
+                extras={
+                    "iterations": 0,
+                    "last_change": 0.0,
+                    "converged": True,
+                    "transition": transition,
+                    "initial": initial,
+                    "log_likelihood": 0.0,
+                },
+            )
+        gamma_flat = token_majority_vote_flat(crowd)
+
+        confusions = np.zeros((crowd.num_annotators, K, K))
+        monitor = ConvergenceMonitor(self.tolerance, self.max_iterations)
+        previous_log_likelihood = -np.inf
+
+        while True:
+            # M-step from current posteriors.
+            counts = confusion_counts(gamma_flat, crowd) + self.smoothing
+            confusions = counts / counts.sum(axis=2, keepdims=True)
+            initial_counts = self.smoothing + gamma_flat[starts].sum(axis=0)
+
+            # E-step: all chains at once, with fresh transition statistics.
+            log_em = scatter_to_padded(
+                emission_log_likelihood(crowd, np.log(confusions)),
+                crowd.num_instances, T_max, chain_index, time_index,
+            )
+            gamma_padded, xi, chain_log_likelihoods = batched_forward_backward(
+                log_em, np.log(transition), np.log(initial), lengths
+            )
+            gamma_flat = gamma_padded[chain_index, time_index]
+            transition_counts = self.smoothing + xi.sum(axis=0)
+            transition = transition_counts / transition_counts.sum(axis=1, keepdims=True)
+            initial = initial_counts / initial_counts.sum()
+
+            total_log_likelihood = float(chain_log_likelihoods.sum())
+            change = abs(total_log_likelihood - previous_log_likelihood)
+            previous_log_likelihood = total_log_likelihood
+            if monitor.step(change, total_log_likelihood):
+                break
+
+        posteriors = split_by_offsets(gamma_flat, offsets)
+        extras = monitor.extras()
+        extras.update(
+            transition=transition,
+            initial=initial,
+            log_likelihood=previous_log_likelihood,
+        )
+        return SequenceInferenceResult(
+            posteriors=posteriors, confusions=confusions, extras=extras
+        )
+
+
+def hmm_crowd_reference(
+    crowd: SequenceCrowdLabels,
+    max_iterations: int = 30,
+    tolerance: float = 1e-4,
+    smoothing: float = 0.1,
+) -> SequenceInferenceResult:
+    """Pre-refactor HMM-Crowd EM (per-sentence/per-annotator loops).
+
+    Kept as the executable specification for the equivalence tests and the
+    benchmark baseline; use :class:`HMMCrowd`.
+    """
+    K = crowd.num_classes
+    J = crowd.num_annotators
+
+    def log_emissions_of(instance: int, log_confusions: np.ndarray) -> np.ndarray:
+        matrix = crowd.labels[instance]
+        out = np.zeros((matrix.shape[0], K))
         for j in crowd.annotators_of(instance):
             out += log_confusions[j][:, matrix[:, j]].T  # (T, K) via fancy index
         return out
 
-    def infer(self, crowd: SequenceCrowdLabels) -> SequenceInferenceResult:
-        K = crowd.num_classes
-        J = crowd.num_annotators
+    # Init from token-level majority voting.
+    posteriors: list[np.ndarray] = []
+    for i in range(crowd.num_instances):
+        votes = crowd.token_vote_counts(i).astype(np.float64) + 1e-3
+        posteriors.append(votes / votes.sum(axis=1, keepdims=True))
 
-        # Init from token-level majority voting.
-        posteriors: list[np.ndarray] = []
+    transition = np.full((K, K), 1.0 / K)
+    initial = np.full(K, 1.0 / K)
+    confusions = np.zeros((J, K, K))
+    previous_log_likelihood = -np.inf
+
+    iterations_used = max_iterations
+    for iteration in range(max_iterations):
+        # M-step from current posteriors.
+        confusion_count_arr = np.full((J, K, K), smoothing)
+        transition_counts = np.full((K, K), smoothing)
+        initial_counts = np.full(K, smoothing)
         for i in range(crowd.num_instances):
-            votes = crowd.token_vote_counts(i).astype(np.float64) + 1e-3
-            posteriors.append(votes / votes.sum(axis=1, keepdims=True))
+            gamma = posteriors[i]
+            matrix = crowd.labels[i]
+            initial_counts += gamma[0]
+            for j in crowd.annotators_of(i):
+                np.add.at(confusion_count_arr[j].T, matrix[:, j], gamma)
+        confusions = confusion_count_arr / confusion_count_arr.sum(axis=2, keepdims=True)
 
-        transition = np.full((K, K), 1.0 / K)
-        initial = np.full(K, 1.0 / K)
-        confusions = np.zeros((J, K, K))
-        previous_log_likelihood = -np.inf
+        # E-step with fresh transition statistics.
+        log_confusions = np.log(confusions)
+        log_transition = np.log(transition)
+        log_initial = np.log(initial)
+        total_log_likelihood = 0.0
+        new_posteriors: list[np.ndarray] = []
+        for i in range(crowd.num_instances):
+            log_em = log_emissions_of(i, log_confusions)
+            gamma, xi_sum, log_like = forward_backward(log_em, log_transition, log_initial)
+            new_posteriors.append(gamma)
+            transition_counts += xi_sum
+            total_log_likelihood += log_like
+        posteriors = new_posteriors
+        transition = transition_counts / transition_counts.sum(axis=1, keepdims=True)
+        initial = initial_counts / initial_counts.sum()
 
-        iterations_used = self.max_iterations
-        for iteration in range(self.max_iterations):
-            # M-step from current posteriors.
-            confusion_counts = np.full((J, K, K), self.smoothing)
-            transition_counts = np.full((K, K), self.smoothing)
-            initial_counts = np.full(K, self.smoothing)
-            for i in range(crowd.num_instances):
-                gamma = posteriors[i]
-                matrix = crowd.labels[i]
-                initial_counts += gamma[0]
-                for j in crowd.annotators_of(i):
-                    np.add.at(confusion_counts[j].T, matrix[:, j], gamma)
-            confusions = confusion_counts / confusion_counts.sum(axis=2, keepdims=True)
+        if abs(total_log_likelihood - previous_log_likelihood) < tolerance:
+            iterations_used = iteration + 1
+            break
+        previous_log_likelihood = total_log_likelihood
 
-            # E-step with fresh transition statistics.
-            log_confusions = np.log(confusions)
-            log_transition = np.log(transition)
-            log_initial = np.log(initial)
-            total_log_likelihood = 0.0
-            new_posteriors: list[np.ndarray] = []
-            for i in range(crowd.num_instances):
-                log_em = self._log_emissions(crowd, i, log_confusions)
-                gamma, xi_sum, log_like = forward_backward(log_em, log_transition, log_initial)
-                new_posteriors.append(gamma)
-                transition_counts += xi_sum
-                total_log_likelihood += log_like
-            posteriors = new_posteriors
-            transition = transition_counts / transition_counts.sum(axis=1, keepdims=True)
-            initial = initial_counts / initial_counts.sum()
-
-            if abs(total_log_likelihood - previous_log_likelihood) < self.tolerance:
-                iterations_used = iteration + 1
-                break
-            previous_log_likelihood = total_log_likelihood
-
-        return SequenceInferenceResult(
-            posteriors=posteriors,
-            confusions=confusions,
-            extras={
-                "transition": transition,
-                "initial": initial,
-                "iterations": iterations_used,
-                "log_likelihood": previous_log_likelihood,
-            },
-        )
+    return SequenceInferenceResult(
+        posteriors=posteriors,
+        confusions=confusions,
+        extras={
+            "transition": transition,
+            "initial": initial,
+            "iterations": iterations_used,
+            "log_likelihood": previous_log_likelihood,
+        },
+    )

@@ -10,18 +10,29 @@ factorizes; updates alternate
 with Dirichlet-count updates whose expectations use digamma functions. The
 priors make it markedly more robust than plain DS on annotators with few
 labels (the NER crowd's long tail).
+
+Performance: the Dirichlet-count scatter and the expected-log-likelihood
+gather share DS's sparse kernels (:mod:`repro.inference.primitives`) over
+the crowd's cached COO views. The pre-refactor implementation is kept as
+:func:`ibcc_reference`; equivalence at atol 1e-10 is enforced by
+``tests/inference/test_method_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import digamma
+
+try:
+    from scipy.special import digamma
+except ImportError:  # keep the package importable; IBCC itself needs scipy
+    digamma = None
 
 from ..crowd.types import CrowdLabelMatrix
-from .base import InferenceResult, TruthInferenceMethod
+from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
+from .primitives import confusion_counts, emission_log_likelihood, normalize_log_posterior
 
-__all__ = ["IBCC"]
+__all__ = ["IBCC", "ibcc_reference"]
 
 
 class IBCC(TruthInferenceMethod):
@@ -46,6 +57,8 @@ class IBCC(TruthInferenceMethod):
         prior_off_diagonal: float = 1.0,
         prior_class: float = 1.0,
     ) -> None:
+        if digamma is None:
+            raise ImportError("IBCC needs scipy (scipy.special.digamma)")
         if prior_diagonal <= 0 or prior_off_diagonal <= 0 or prior_class <= 0:
             raise ValueError("Dirichlet priors must be positive")
         self.max_iterations = max_iterations
@@ -57,40 +70,88 @@ class IBCC(TruthInferenceMethod):
     def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
         self._check_nonempty(crowd)
         K = crowd.num_classes
-        one_hot = crowd.one_hot()
         posterior = majority_vote_posterior(crowd)
         prior_matrix = np.full((K, K), self.prior_off_diagonal)
         np.fill_diagonal(prior_matrix, self.prior_diagonal)
+        monitor = ConvergenceMonitor(self.tolerance, self.max_iterations)
 
         confusions = np.zeros((crowd.num_annotators, K, K))
-        iterations_used = self.max_iterations
-        for iteration in range(self.max_iterations):
+        while True:
             # Variational M: Dirichlet posterior counts.
-            confusion_counts = np.einsum("im,ijn->jmn", posterior, one_hot) + prior_matrix
+            count_matrix = confusion_counts(posterior, crowd) + prior_matrix
             class_counts = posterior.sum(axis=0) + self.prior_class
 
-            expected_log_confusion = digamma(confusion_counts) - digamma(
-                confusion_counts.sum(axis=2, keepdims=True)
+            expected_log_confusion = digamma(count_matrix) - digamma(
+                count_matrix.sum(axis=2, keepdims=True)
             )
             expected_log_class = digamma(class_counts) - digamma(class_counts.sum())
 
             # Variational E.
-            log_posterior = expected_log_class[None, :] + np.einsum(
-                "ijn,jmn->im", one_hot, expected_log_confusion
+            log_posterior = expected_log_class[None, :] + emission_log_likelihood(
+                crowd, expected_log_confusion
             )
-            log_posterior -= log_posterior.max(axis=1, keepdims=True)
-            new_posterior = np.exp(log_posterior)
-            new_posterior /= new_posterior.sum(axis=1, keepdims=True)
+            new_posterior = normalize_log_posterior(log_posterior)
 
             delta = float(np.abs(new_posterior - posterior).max())
             posterior = new_posterior
-            confusions = confusion_counts / confusion_counts.sum(axis=2, keepdims=True)
-            if delta < self.tolerance:
-                iterations_used = iteration + 1
+            confusions = count_matrix / count_matrix.sum(axis=2, keepdims=True)
+            if monitor.step(delta):
                 break
 
         return InferenceResult(
             posterior=posterior,
             confusions=confusions,
-            extras={"iterations": iterations_used},
+            extras=monitor.extras(),
         )
+
+
+def ibcc_reference(
+    crowd: CrowdLabelMatrix,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    prior_diagonal: float = 2.0,
+    prior_off_diagonal: float = 1.0,
+    prior_class: float = 1.0,
+) -> InferenceResult:
+    """Pre-refactor VB-IBCC (dense one-hot einsums over ``(I, J, K)``).
+
+    Kept as the executable specification for the equivalence tests; use
+    :class:`IBCC`.
+    """
+    TruthInferenceMethod._check_nonempty(crowd)
+    K = crowd.num_classes
+    one_hot = crowd.one_hot()
+    posterior = majority_vote_posterior(crowd)
+    prior_matrix = np.full((K, K), prior_off_diagonal)
+    np.fill_diagonal(prior_matrix, prior_diagonal)
+
+    confusions = np.zeros((crowd.num_annotators, K, K))
+    iterations_used = max_iterations
+    for iteration in range(max_iterations):
+        confusion_counts = np.einsum("im,ijn->jmn", posterior, one_hot) + prior_matrix
+        class_counts = posterior.sum(axis=0) + prior_class
+
+        expected_log_confusion = digamma(confusion_counts) - digamma(
+            confusion_counts.sum(axis=2, keepdims=True)
+        )
+        expected_log_class = digamma(class_counts) - digamma(class_counts.sum())
+
+        log_posterior = expected_log_class[None, :] + np.einsum(
+            "ijn,jmn->im", one_hot, expected_log_confusion
+        )
+        log_posterior -= log_posterior.max(axis=1, keepdims=True)
+        new_posterior = np.exp(log_posterior)
+        new_posterior /= new_posterior.sum(axis=1, keepdims=True)
+
+        delta = float(np.abs(new_posterior - posterior).max())
+        posterior = new_posterior
+        confusions = confusion_counts / confusion_counts.sum(axis=2, keepdims=True)
+        if delta < tolerance:
+            iterations_used = iteration + 1
+            break
+
+    return InferenceResult(
+        posterior=posterior,
+        confusions=confusions,
+        extras={"iterations": iterations_used},
+    )

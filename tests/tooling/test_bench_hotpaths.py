@@ -2,8 +2,9 @@
 
 Runs ``benchmarks/bench_hotpaths.py --smoke`` in a subprocess (fresh
 interpreter, exactly as CI would) and fails if it errors — so a change
-that breaks the fused GRU / vectorized EM equivalence checks, or the
-harness itself, fails the tier-1 suite. The smoke run finishes in a few
+that breaks any seed-vs-live equivalence check (fused GRU, vectorized
+sequence EM, sparse DS EM, batched forward–backward), or the harness
+itself, fails the tier-1 suite. The smoke run finishes in a few
 seconds; it measures tiny sizes and makes no speedup assertions (wall
 clock on shared CI boxes is not a contract).
 """
@@ -41,9 +42,8 @@ def test_bench_hotpaths_smoke_runs_and_writes_json(tmp_path):
 
     payload = json.loads(output.read_text())
     assert payload["smoke"] is True
-    for section in ("gru", "sequence_em"):
+    for section in ("gru", "sequence_em", "dawid_skene", "forward_backward"):
         entry = payload[section]
         assert entry["before_ms"] > 0 and entry["after_ms"] > 0
         # Equivalence is asserted inside the harness; re-check it landed.
         assert entry["max_abs_diff"] < 1e-10
-    assert payload["dawid_skene"]["ms"] > 0
