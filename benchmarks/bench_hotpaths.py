@@ -1,7 +1,7 @@
 """Hot-path microbenchmarks with a tracked JSON trajectory.
 
-Times the four runtime-dominating kernels of the crowd tracks against
-their frozen seed-commit implementations (``seed_baseline.py``):
+Times the runtime-dominating kernels of the crowd tracks against their
+frozen seed-commit implementations (``seed_baseline.py``):
 
 * **gru** — one training step (forward + backward through a squared loss)
   of the fused packed GRU layer vs. the seed per-gate time loop, identical
@@ -18,6 +18,18 @@ their frozen seed-commit implementations (``seed_baseline.py``):
 * **forward_backward** — one HMM-Crowd/BSC-seq E-round: the batched
   length-masked forward–backward over padded ``(I, T_max, K)`` emissions
   vs. the seed per-chain Python loop (I=300, T≤50, K=9).
+* **glad** — full GLAD EM (E-steps + inner gradient ascent) on the COO
+  triples vs. the pre-PR-3 dense ``(I, J)`` masked scans, at the
+  sentiment-crowd scale with the CoNLL AMT annotator count (I=2000,
+  J=47, binary).
+* **pm_catd** — one full PM run plus one full CATD run on the shared
+  ``annotator_agreement``/``weighted_vote_scores`` kernels vs. the
+  pre-PR-3 dense ``(I, J, K)`` one-hot einsums (I=2000, J=47, K=9).
+* **conv1d** — one width-5 conv training step (forward + backward) via
+  the width-loop variant vs. the pre-PR-3 im2col path that materializes
+  the ``(B, T_out, width·D)`` window buffer, at the tagger's embedding
+  scale (B=32, T=50, D=300). The headline here is the removed buffer
+  (``buffer_bytes_avoided``), not the speedup.
 
 Both sides of each comparison run interleaved in the same process,
 best-of-N, because this box's wall-clock is noisy. Sentence lengths are
@@ -54,21 +66,28 @@ from seed_baseline import (  # noqa: E402
     MISSING,
     SeedGRUCell,
     SeedTensor,
+    seed_catd,
+    seed_conv1d_train_step,
     seed_dawid_skene,
     seed_forward_backward,
+    seed_glad,
     seed_gru_forward,
+    seed_pm,
     seed_sequence_posterior_qa,
     seed_sequence_update_confusions,
 )
 
-from repro.autodiff import Tensor  # noqa: E402
+from repro.autodiff import Tensor, functional as F  # noqa: E402
 from repro.autodiff.nn.rnn import GRU  # noqa: E402
 from repro.core.em import (  # noqa: E402
     sequence_posterior_qa,
     sequence_update_confusions,
 )
 from repro.crowd.types import CrowdLabelMatrix, SequenceCrowdLabels  # noqa: E402
+from repro.inference.catd import CATD  # noqa: E402
 from repro.inference.dawid_skene import DawidSkene  # noqa: E402
+from repro.inference.glad import GLAD  # noqa: E402
+from repro.inference.pm import PM  # noqa: E402
 from repro.inference.primitives import batched_forward_backward  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -201,15 +220,24 @@ def bench_sequence_em(instances, annotators, classes, t_max, repeats, rng) -> di
 # --------------------------------------------------------------------- #
 # Dawid–Skene EM: sparse COO kernels vs. seed dense one-hot einsums
 # --------------------------------------------------------------------- #
-def bench_dawid_skene(instances, annotators, classes, iterations, repeats, rng) -> dict:
+def make_classification_labels(rng, instances, annotators, classes, per_instance=3):
+    """Synthetic crowd at fixed redundancy, shared by the DS/GLAD/PM/CATD
+    benches (3 labels per instance, 70% annotator accuracy)."""
     labels = np.full((instances, annotators), MISSING, dtype=np.int64)
     truth = rng.integers(0, classes, size=instances)
     for i in range(instances):
-        chosen = rng.choice(annotators, size=3, replace=False)
+        chosen = rng.choice(annotators, size=per_instance, replace=False)
         noisy = np.where(
-            rng.random(3) < 0.7, truth[i], rng.integers(0, classes, size=3)
+            rng.random(per_instance) < 0.7,
+            truth[i],
+            rng.integers(0, classes, size=per_instance),
         )
         labels[i, chosen] = noisy
+    return labels
+
+
+def bench_dawid_skene(instances, annotators, classes, iterations, repeats, rng) -> dict:
+    labels = make_classification_labels(rng, instances, annotators, classes)
     crowd = CrowdLabelMatrix(labels, classes)
     method = DawidSkene(max_iterations=iterations, tolerance=0.0)
 
@@ -300,6 +328,136 @@ def bench_forward_backward(instances, classes, t_max, repeats, rng) -> dict:
     }
 
 
+# --------------------------------------------------------------------- #
+# GLAD / PM / CATD: sparse-COO kernels vs. pre-PR-3 dense scans
+# --------------------------------------------------------------------- #
+def bench_glad(instances, annotators, em_iterations, repeats, rng) -> dict:
+    labels = make_classification_labels(rng, instances, annotators, classes=2)
+    crowd = CrowdLabelMatrix(labels, 2)
+    method = GLAD(em_iterations=em_iterations)
+
+    def run_vectorized():
+        return method.infer(crowd)
+
+    def run_seed():
+        return seed_glad(labels, em_iterations=em_iterations)
+
+    result_new = run_vectorized()
+    posterior_old, alpha_old, beta_old = run_seed()
+    max_diff = float(
+        max(
+            np.abs(result_new.posterior - posterior_old).max(),
+            np.abs(result_new.extras["alpha"] - alpha_old).max(),
+            np.abs(result_new.extras["beta"] - beta_old).max(),
+        )
+    )
+    if max_diff > 1e-10:
+        raise AssertionError(f"vectorized GLAD diverged from seed GLAD: {max_diff}")
+
+    vec_s, seed_s = np.inf, np.inf
+    for _ in range(repeats):
+        vec_s = min(vec_s, best_of(run_vectorized, 1))
+        seed_s = min(seed_s, best_of(run_seed, 1))
+    return {
+        "config": {"I": instances, "J": annotators, "K": 2,
+                   "em_iterations": em_iterations, "gradient_steps": 20},
+        "before_ms": seed_s * 1e3,
+        "after_ms": vec_s * 1e3,
+        "speedup": seed_s / vec_s,
+        "max_abs_diff": max_diff,
+    }
+
+
+def bench_pm_catd(instances, annotators, classes, repeats, rng) -> dict:
+    labels = make_classification_labels(rng, instances, annotators, classes)
+    crowd = CrowdLabelMatrix(labels, classes)
+    pm = PM()
+    catd = CATD()
+
+    def run_vectorized():
+        return pm.infer(crowd), catd.infer(crowd)
+
+    def run_seed():
+        return seed_pm(labels, classes), seed_catd(labels, classes)
+
+    pm_new, catd_new = run_vectorized()
+    (pm_post, pm_weights, pm_iters), (catd_post, catd_weights, catd_iters) = run_seed()
+    if pm_new.extras["iterations"] != pm_iters or catd_new.extras["iterations"] != catd_iters:
+        raise AssertionError(
+            "vectorized PM/CATD convergence diverged from seed: "
+            f"PM {pm_new.extras['iterations']} vs {pm_iters}, "
+            f"CATD {catd_new.extras['iterations']} vs {catd_iters}"
+        )
+    max_diff = float(
+        max(
+            np.abs(pm_new.posterior - pm_post).max(),
+            np.abs(pm_new.extras["weights"] - pm_weights).max(),
+            np.abs(catd_new.posterior - catd_post).max(),
+            np.abs(catd_new.extras["weights"] - catd_weights).max(),
+        )
+    )
+    if max_diff > 1e-10:
+        raise AssertionError(f"vectorized PM/CATD diverged from seed: {max_diff}")
+
+    vec_s, seed_s = np.inf, np.inf
+    for _ in range(repeats):
+        vec_s = min(vec_s, best_of(run_vectorized, 1))
+        seed_s = min(seed_s, best_of(run_seed, 1))
+    return {
+        "config": {"I": instances, "J": annotators, "K": classes,
+                   "methods": "PM + CATD, one full run each"},
+        "before_ms": seed_s * 1e3,
+        "after_ms": vec_s * 1e3,
+        "speedup": seed_s / vec_s,
+        "max_abs_diff": max_diff,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Conv1d training step: width-loop accumulation vs. im2col materialization
+# --------------------------------------------------------------------- #
+def bench_conv1d(batch, t_max, dim, width, feats, repeats, rng) -> dict:
+    x = rng.normal(size=(batch, t_max, dim))
+    # Glorot-ish scale keeps activations O(1), as in the real models.
+    weight = rng.normal(size=(width * dim, feats)) / np.sqrt(width * dim)
+    bias = rng.normal(size=(feats,)) * 0.1
+
+    def run_width_loop():
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(weight, requires_grad=True)
+        bt = Tensor(bias, requires_grad=True)
+        out = F.conv1d_seq(xt, wt, bt, width=width, pad="same", variant="width_loop")
+        (out**2).sum().backward()
+        return out.numpy(), xt.grad, wt.grad, bt.grad
+
+    def run_seed():
+        return seed_conv1d_train_step(x, weight, bias, width, pad="same")
+
+    new = run_width_loop()
+    old = run_seed()
+    # The two paths split the width·D reduction differently, so agreement
+    # is float64 round-off, not bit-for-bit (see test_conv1d_paths.py).
+    max_diff = float(max(np.abs(a - b).max() for a, b in zip(new, old)))
+    if max_diff > 1e-9:
+        raise AssertionError(f"width-loop conv diverged from im2col conv: {max_diff}")
+
+    loop_s, seed_s = np.inf, np.inf
+    for _ in range(repeats):
+        loop_s = min(loop_s, best_of(run_width_loop, 1))
+        seed_s = min(seed_s, best_of(run_seed, 1))
+    return {
+        "config": {"B": batch, "T": t_max, "D": dim, "width": width, "F": feats,
+                   "pad": "same"},
+        "before_ms": seed_s * 1e3,
+        "after_ms": loop_s * 1e3,
+        "speedup": seed_s / loop_s,
+        "max_abs_diff": max_diff,
+        # The point of the variant: the (B, T_out, width*D) float64 window
+        # buffer the im2col forward AND backward each materialize.
+        "buffer_bytes_avoided": int(batch * t_max * width * dim * 8),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--smoke", action="store_true",
@@ -319,6 +477,9 @@ def main(argv=None) -> int:
         em_cfg = dict(instances=60, annotators=47, classes=9, t_max=30)
         ds_cfg = dict(instances=300, annotators=47, classes=9, iterations=10)
         fb_cfg = dict(instances=60, classes=9, t_max=30)
+        glad_cfg = dict(instances=200, annotators=47, em_iterations=3)
+        pm_catd_cfg = dict(instances=300, annotators=47, classes=9)
+        conv_cfg = dict(batch=8, t_max=20, dim=64, width=5, feats=16)
     else:
         repeats = args.repeats or 7
         # Paper scale: tagger batch 32, T=50, GRU hidden 50, conv width 512
@@ -327,6 +488,10 @@ def main(argv=None) -> int:
         em_cfg = dict(instances=300, annotators=47, classes=9, t_max=50)
         ds_cfg = dict(instances=2000, annotators=47, classes=9, iterations=50)
         fb_cfg = dict(instances=300, classes=9, t_max=50)
+        glad_cfg = dict(instances=2000, annotators=47, em_iterations=10)
+        pm_catd_cfg = dict(instances=2000, annotators=47, classes=9)
+        # Tagger embedding scale: width-5 conv over 300-d GloVe vectors.
+        conv_cfg = dict(batch=32, t_max=50, dim=300, width=5, feats=100)
 
     started = time.time()
     results = {
@@ -337,6 +502,9 @@ def main(argv=None) -> int:
         "sequence_em": bench_sequence_em(repeats=repeats, rng=rng, **em_cfg),
         "dawid_skene": bench_dawid_skene(repeats=max(repeats // 2, 1), rng=rng, **ds_cfg),
         "forward_backward": bench_forward_backward(repeats=repeats, rng=rng, **fb_cfg),
+        "glad": bench_glad(repeats=max(repeats // 2, 1), rng=rng, **glad_cfg),
+        "pm_catd": bench_pm_catd(repeats=max(repeats // 2, 1), rng=rng, **pm_catd_cfg),
+        "conv1d": bench_conv1d(repeats=repeats, rng=rng, **conv_cfg),
     }
     results["wall_seconds"] = round(time.time() - started, 2)
 
@@ -346,6 +514,9 @@ def main(argv=None) -> int:
         ("sequence EM", "sequence_em"),
         ("Dawid–Skene", "dawid_skene"),
         ("forward–bwd", "forward_backward"),
+        ("GLAD EM    ", "glad"),
+        ("PM + CATD  ", "pm_catd"),
+        ("conv1d step", "conv1d"),
     ):
         entry = results[section]
         print(f"{label} : {entry['before_ms']:8.2f} ms → {entry['after_ms']:8.2f} ms "

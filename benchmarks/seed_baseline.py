@@ -17,6 +17,13 @@ GRU training path uses:
   einsums every sweep (PR 2 replaced them with sparse COO kernels).
 * ``seed_forward_backward`` — the seed per-chain scaled forward–backward
   with its per-timestep Python loops (PR 2 batches all chains per step).
+* ``seed_glad`` / ``seed_pm`` / ``seed_catd`` — the pre-PR-3 dense
+  implementations: GLAD's ``(I, J)`` masked scans every E-step and
+  gradient step, PM/CATD's ``(I, J, K)`` one-hot einsums per sweep
+  (PR 3 moved all three onto the sparse COO kernels).
+* ``seed_conv1d_train_step`` — the pre-PR-3 im2col convolution: forward
+  and backward both materialize the ``(B, T_out, width·D)`` window buffer
+  (PR 3's width-loop variant accumulates shifted matmuls instead).
 
 Do not "fix" or optimize anything here: it is a measurement baseline, not
 production code.
@@ -376,3 +383,175 @@ def seed_sequence_posterior_qa(proba, labels, confusions):
         posterior /= posterior.sum(axis=1, keepdims=True)
         out.append(posterior)
     return out
+
+def _seed_sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.abs(x))),
+        np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))),
+    )
+
+
+def seed_glad(
+    labels: np.ndarray,
+    em_iterations: int = 30,
+    gradient_steps: int = 20,
+    learning_rate: float = 0.05,
+    prior_correct: float = 0.5,
+):
+    """Pre-PR-3 GLAD: dense ``(I, J)`` masked scans every inner step."""
+    I, J = labels.shape
+    observed = labels != MISSING
+    sign = np.where(observed, np.where(labels == 1, 1.0, -1.0), 0.0)
+
+    alpha = np.ones(J)
+    log_beta = np.zeros(I)
+    posterior_one = np.full(I, prior_correct)
+
+    for _ in range(em_iterations):
+        strength = np.exp(log_beta)[:, None] * alpha[None, :]
+        log_sig = np.log(_seed_sigmoid(strength) + 1e-12)
+        log_one_minus = np.log(1.0 - _seed_sigmoid(strength) + 1e-12)
+        log_like_one = np.where(observed, np.where(sign > 0, log_sig, log_one_minus), 0.0).sum(axis=1)
+        log_like_zero = np.where(observed, np.where(sign < 0, log_sig, log_one_minus), 0.0).sum(axis=1)
+        logit = (
+            np.log(prior_correct) - np.log(1 - prior_correct)
+            + log_like_one - log_like_zero
+        )
+        posterior_one = _seed_sigmoid(logit)
+
+        for _ in range(gradient_steps):
+            strength = np.exp(log_beta)[:, None] * alpha[None, :]
+            sig = _seed_sigmoid(strength)
+            prob_correct = np.where(
+                sign > 0, posterior_one[:, None], 1.0 - posterior_one[:, None]
+            )
+            residual = np.where(observed, prob_correct - sig, 0.0)
+            labels_per_annotator = np.maximum(observed.sum(axis=0), 1)
+            labels_per_instance = np.maximum(observed.sum(axis=1), 1)
+            grad_alpha = (residual * np.exp(log_beta)[:, None]).sum(axis=0) / labels_per_annotator
+            grad_log_beta = (
+                (residual * alpha[None, :]).sum(axis=1) * np.exp(log_beta)
+            ) / labels_per_instance
+            alpha += learning_rate * grad_alpha
+            log_beta += learning_rate * grad_log_beta
+            log_beta = np.clip(log_beta, -4.0, 4.0)
+            alpha = np.clip(alpha, -8.0, 8.0)
+
+    posterior = np.stack([1.0 - posterior_one, posterior_one], axis=1)
+    return posterior, alpha, np.exp(log_beta)
+
+
+def seed_pm(
+    labels: np.ndarray,
+    num_classes: int,
+    max_iterations: int = 50,
+    tolerance: float = 1e-6,
+    floor: float = 1e-3,
+):
+    """Pre-PR-3 PM: dense one-hot einsums over ``(I, J, K)`` per sweep."""
+    one_hot = seed_one_hot(labels, num_classes)
+    observed = labels != MISSING
+    counts = observed.sum(axis=0)
+    posterior = seed_majority_vote_posterior(labels, num_classes)
+    weights = np.ones(labels.shape[1])
+
+    iterations_used = max_iterations
+    for iteration in range(max_iterations):
+        agreement = np.einsum("ijk,ik->ij", one_hot, posterior)
+        per_annotator_agreement = np.where(observed, agreement, 0.0).sum(axis=0)
+        error = 1.0 - per_annotator_agreement / np.maximum(counts, 1)
+        error = np.clip(error, floor, 1.0 - floor)
+        weights = -np.log(error)
+
+        scores = np.einsum("j,ijk->ik", weights, one_hot)
+        scores = np.maximum(scores, 0.0)
+        totals = scores.sum(axis=1, keepdims=True)
+        new_posterior = np.where(
+            totals > 0, scores / np.where(totals > 0, totals, 1.0),
+            np.full_like(scores, 1.0 / num_classes),
+        )
+        delta = float(np.abs(new_posterior - posterior).max())
+        posterior = new_posterior
+        if delta < tolerance:
+            iterations_used = iteration + 1
+            break
+    return posterior, weights, iterations_used
+
+
+def seed_catd(
+    labels: np.ndarray,
+    num_classes: int,
+    max_iterations: int = 50,
+    tolerance: float = 1e-6,
+    alpha: float = 0.05,
+):
+    """Pre-PR-3 CATD: dense one-hot einsums over ``(I, J, K)`` per sweep."""
+    from scipy import stats  # seed CATD required scipy, as the live one does
+
+    one_hot = seed_one_hot(labels, num_classes)
+    observed = labels != MISSING
+    counts = observed.sum(axis=0)
+    posterior = seed_majority_vote_posterior(labels, num_classes)
+    chi_upper = stats.chi2.ppf(1.0 - alpha / 2.0, df=np.maximum(counts, 1))
+    weights = np.ones(labels.shape[1])
+
+    iterations_used = max_iterations
+    for iteration in range(max_iterations):
+        agreement = np.einsum("ijk,ik->ij", one_hot, posterior)
+        error_sum = np.where(observed, 1.0 - agreement, 0.0).sum(axis=0)
+        weights = chi_upper / np.maximum(error_sum, 1e-6)
+        weights = weights / weights.max()
+
+        scores = np.einsum("j,ijk->ik", weights, one_hot)
+        totals = scores.sum(axis=1, keepdims=True)
+        new_posterior = np.where(
+            totals > 0, scores / np.where(totals > 0, totals, 1.0),
+            np.full_like(scores, 1.0 / num_classes),
+        )
+        delta = float(np.abs(new_posterior - posterior).max())
+        posterior = new_posterior
+        if delta < tolerance:
+            iterations_used = iteration + 1
+            break
+    return posterior, weights, iterations_used
+
+
+def seed_conv1d_train_step(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    width: int,
+    pad: str = "same",
+):
+    """Pre-PR-3 im2col convolution, forward + backward of ``(out**2).sum()``.
+
+    Both passes materialize the ``(B, T_out, width·D)`` window buffer —
+    the memory expansion the width-loop variant removes. Returns
+    ``(out, xgrad, wgrad, bgrad)``.
+    """
+    batch, time, dim = x.shape
+    left = right = 0
+    data = x
+    if pad == "same":
+        left = (width - 1) // 2
+        right = width - 1 - left
+        data = np.pad(data, ((0, 0), (left, right), (0, 0)))
+
+    out_time = data.shape[1] - width + 1
+    windows = np.lib.stride_tricks.sliding_window_view(data, (width,), axis=1)
+    cols = np.ascontiguousarray(
+        windows.transpose(0, 1, 3, 2).reshape(batch, out_time, width * dim)
+    )
+    out = cols @ weight + bias
+
+    grad = 2.0 * out
+    bgrad = grad.sum(axis=(0, 1))
+    wgrad = np.einsum("btk,btf->kf", cols, grad)
+    gcols = (grad @ weight.T).reshape(batch, out_time, width, dim)
+    xgrad = np.zeros_like(data)
+    for offset in range(width):
+        xgrad[:, offset : offset + out_time, :] += gcols[:, :, offset, :]
+    if pad == "same":
+        xgrad = xgrad[:, left : left + time, :]
+    return out, xgrad, wgrad, bgrad

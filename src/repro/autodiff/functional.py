@@ -4,7 +4,9 @@ These are the composite operations the paper's two architectures require:
 
 * ``embedding`` — static/trainable word-vector lookup;
 * ``conv1d_seq`` — 1-D convolution over the time axis of an embedded
-  sequence (Kim-CNN filter windows; the tagger's width-5 convolution);
+  sequence (Kim-CNN filter windows; the tagger's width-5 convolution),
+  with an auto-selected im2col / width-loop execution variant (the latter
+  never materializes the ``(B, T_out, width·D)`` window buffer);
 * ``max_over_time`` — max pooling over the (optionally masked) time axis;
 * ``softmax`` / ``log_softmax`` — numerically stable, any axis;
 * ``dropout`` — inverted dropout driven by an explicit RNG;
@@ -89,11 +91,54 @@ def _sliding_windows(data: np.ndarray, width: int) -> np.ndarray:
     return np.ascontiguousarray(windows)
 
 
-def conv1d_seq(x: Tensor, weight: Tensor, bias: Tensor | None, width: int, pad: str = "valid") -> Tensor:
+# Above this many window elements (B · T_out · width · D, i.e. 8 MB of
+# float64) the materialized im2col buffer stops paying for its single big
+# GEMM and the width-loop variant takes over.
+IM2COL_ELEMENT_BUDGET = 1 << 20
+
+CONV1D_VARIANTS = ("auto", "im2col", "width_loop")
+
+
+def _select_conv1d_variant(batch: int, out_time: int, width: int, dim: int) -> str:
+    """Resolve ``variant="auto"``: im2col for small problems (one GEMM, no
+    per-offset dispatch), width-loop once the ``(B, T_out, width·D)`` window
+    buffer would exceed :data:`IM2COL_ELEMENT_BUDGET` elements."""
+    if width <= 1:
+        return "im2col"  # windows are the input itself; nothing to save
+    if batch * out_time * width * dim > IM2COL_ELEMENT_BUDGET:
+        return "width_loop"
+    return "im2col"
+
+
+def conv1d_seq(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None,
+    width: int,
+    pad: str = "valid",
+    variant: str = "auto",
+) -> Tensor:
     """1-D convolution over the time axis of a ``(B, T, D)`` sequence.
 
-    Implemented as im2col + matmul, which is exact and keeps the backward
-    pass a pair of matrix products plus a scatter-add.
+    Two execution variants compute the same convolution (and expose the
+    same single tape node with an unchanged backward contract):
+
+    * ``"im2col"`` — materialize ``(B, T_out, width·D)`` windows, one big
+      matmul. Fastest at small sizes, but the window buffer is ``width``×
+      the input (~1500× the embedding dim at the tagger's width 5, D 300).
+    * ``"width_loop"`` — accumulate ``width`` shifted ``(B, T_out, D) @
+      (D, F)`` matmuls in place. Same O(width·B·T_out·D·F) flops, but peak
+      extra memory is one input-sized block instead of the ``width``×
+      window buffer — forward *and* backward never materialize
+      ``(B, T_out, width·D)``.
+    * ``"auto"`` (default) — :func:`_select_conv1d_variant` picks im2col
+      below :data:`IM2COL_ELEMENT_BUDGET` window elements, width-loop
+      above.
+
+    The two variants agree to float64 round-off (~1e-13 at paper scale) but
+    not bit-for-bit: splitting the shared ``width·D`` reduction into
+    per-offset GEMMs changes BLAS's summation order. Equivalence is pinned
+    by ``tests/autodiff/test_conv1d_paths.py``.
 
     Parameters
     ----------
@@ -109,11 +154,15 @@ def conv1d_seq(x: Tensor, weight: Tensor, bias: Tensor | None, width: int, pad: 
         ``"valid"`` (output length ``T - width + 1``) or ``"same"``
         (zero-padded so output length equals ``T``; used by the tagger so a
         label is produced for every token).
+    variant:
+        ``"auto"``, ``"im2col"``, or ``"width_loop"``.
     """
     if x.data.ndim != 3:
         raise ValueError(f"conv1d_seq expects (B, T, D) input, got shape {x.shape}")
     if pad not in ("valid", "same"):
         raise ValueError(f"pad must be 'valid' or 'same', got {pad!r}")
+    if variant not in CONV1D_VARIANTS:
+        raise ValueError(f"variant must be one of {CONV1D_VARIANTS}, got {variant!r}")
 
     batch, time, dim = x.data.shape
     if weight.data.shape[0] != width * dim:
@@ -131,15 +180,27 @@ def conv1d_seq(x: Tensor, weight: Tensor, bias: Tensor | None, width: int, pad: 
         raise ValueError(
             f"sequence length {time} shorter than filter width {width} with pad={pad!r}"
         )
+    out_time = data.shape[1] - width + 1
+    if variant == "auto":
+        variant = _select_conv1d_variant(batch, out_time, width, dim)
 
-    cols = _sliding_windows(data, width)          # (B, T_out, width*D)
-    out_data = cols @ weight.data                 # (B, T_out, F)
-    if bias is not None:
-        out_data = out_data + bias.data
+    if variant == "im2col":
+        cols = _sliding_windows(data, width)      # (B, T_out, width*D)
+        out_data = cols @ weight.data             # (B, T_out, F)
+        if bias is not None:
+            out_data = out_data + bias.data
+    else:
+        feats = weight.data.shape[1]
+        out_data = np.zeros((batch, out_time, feats))
+        for offset in range(width):
+            block = weight.data[offset * dim : (offset + 1) * dim]
+            out_data += data[:, offset : offset + out_time, :] @ block
+        if bias is not None:
+            out_data += bias.data
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
-    def backward_fn(grad: np.ndarray) -> None:
+    def backward_im2col(grad: np.ndarray) -> None:
         if bias is not None and bias._tracked:
             bias._accumulate(grad.sum(axis=(0, 1)))
         if weight._tracked:
@@ -156,6 +217,31 @@ def conv1d_seq(x: Tensor, weight: Tensor, bias: Tensor | None, width: int, pad: 
                 xgrad = xgrad[:, left : left + time, :]
             x._accumulate(xgrad)
 
+    def backward_width_loop(grad: np.ndarray) -> None:
+        if bias is not None and bias._tracked:
+            bias._accumulate(grad.sum(axis=(0, 1)))
+        if weight._tracked:
+            # Per-offset (D, F) GEMMs into the fused weight gradient; peak
+            # extra memory is one contiguous input-sized block, never the
+            # (B, T_out, width*D) window expansion.
+            wgrad = np.empty_like(weight.data)
+            grad_flat = grad.reshape(batch * out_time, -1)
+            for offset in range(width):
+                block = np.ascontiguousarray(
+                    data[:, offset : offset + out_time, :]
+                ).reshape(batch * out_time, dim)
+                np.matmul(block.T, grad_flat, out=wgrad[offset * dim : (offset + 1) * dim])
+            weight._accumulate(wgrad)
+        if x._tracked:
+            xgrad = np.zeros_like(data)
+            for offset in range(width):
+                block = weight.data[offset * dim : (offset + 1) * dim]
+                xgrad[:, offset : offset + out_time, :] += grad @ block.T
+            if pad == "same":
+                xgrad = xgrad[:, left : left + time, :]
+            x._accumulate(xgrad)
+
+    backward_fn = backward_im2col if variant == "im2col" else backward_width_loop
     return Tensor._make(out_data, parents, backward_fn)
 
 

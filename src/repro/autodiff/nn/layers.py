@@ -82,7 +82,12 @@ class Embedding(Module):
 
 
 class Conv1dSeq(Module):
-    """1-D convolution over the time axis of ``(B, T, D)`` sequences."""
+    """1-D convolution over the time axis of ``(B, T, D)`` sequences.
+
+    ``variant`` selects the :func:`~repro.autodiff.functional.conv1d_seq`
+    execution path (``"auto"``/``"im2col"``/``"width_loop"``); the default
+    lets the functional layer pick by window-buffer size.
+    """
 
     def __init__(
         self,
@@ -91,10 +96,14 @@ class Conv1dSeq(Module):
         width: int,
         rng: np.random.Generator,
         pad: str = "valid",
+        variant: str = "auto",
     ) -> None:
         super().__init__()
+        if variant not in F.CONV1D_VARIANTS:
+            raise ValueError(f"variant must be one of {F.CONV1D_VARIANTS}, got {variant!r}")
         self.width = width
         self.pad = pad
+        self.variant = variant
         fan_in = width * in_dim
         self.weight = Tensor(
             init.glorot_uniform(rng, fan_in, out_channels),
@@ -104,7 +113,9 @@ class Conv1dSeq(Module):
         self.bias = Tensor(init.zeros((out_channels,)), requires_grad=True, name=f"conv{width}.bias")
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv1d_seq(x, self.weight, self.bias, self.width, pad=self.pad)
+        return F.conv1d_seq(
+            x, self.weight, self.bias, self.width, pad=self.pad, variant=self.variant
+        )
 
 
 class Dropout(Module):

@@ -39,19 +39,21 @@ from .base import (
     TruthInferenceMethod,
 )
 from .bsc_seq import BSCSeq, bsc_seq_reference
-from .catd import CATD
+from .catd import CATD, catd_reference
 from .dawid_skene import DawidSkene, dawid_skene_reference
-from .glad import GLAD
+from .glad import GLAD, glad_reference
 from .hmm_crowd import HMMCrowd, forward_backward, hmm_crowd_reference
 from .ibcc import IBCC, ibcc_reference
-from .majority_vote import MajorityVote, majority_vote_posterior
-from .pm import PM
+from .majority_vote import MajorityVote, majority_vote_posterior, majority_vote_reference
+from .pm import PM, pm_reference
 from .primitives import (
+    annotator_agreement,
     batched_forward_backward,
     confusion_counts,
     emission_log_likelihood,
     normalize_log_posterior,
     pad_ragged,
+    weighted_vote_scores,
 )
 from .registry import available_methods, build_method_table, get_method, register
 from .sequence_utils import TokenLevelInference, flatten_sequence_crowd
@@ -63,11 +65,15 @@ __all__ = [
     "ConvergenceMonitor",
     "MajorityVote",
     "majority_vote_posterior",
+    "majority_vote_reference",
     "DawidSkene",
     "dawid_skene_reference",
     "GLAD",
+    "glad_reference",
     "PM",
+    "pm_reference",
     "CATD",
+    "catd_reference",
     "IBCC",
     "ibcc_reference",
     "HMMCrowd",
@@ -79,6 +85,8 @@ __all__ = [
     "confusion_counts",
     "emission_log_likelihood",
     "normalize_log_posterior",
+    "annotator_agreement",
+    "weighted_vote_scores",
     "pad_ragged",
     "register",
     "get_method",

@@ -74,7 +74,8 @@ class DawidSkene(TruthInferenceMethod):
             log_likelihood = float((shift[:, 0] + np.log(normalizer[:, 0])).sum())
             new_posterior = unnormalized / normalizer
 
-            delta = float(np.abs(new_posterior - posterior).max())
+            # initial=0.0 keeps the degenerate empty crowd (I = 0) total.
+            delta = float(np.abs(new_posterior - posterior).max(initial=0.0))
             posterior = new_posterior
             if monitor.step(delta, log_likelihood):
                 break

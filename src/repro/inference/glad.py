@@ -6,6 +6,17 @@ is annotator ability (can be negative: adversarial) and ``β_i > 0`` is
 inverse item difficulty. EM with gradient-ascent M-steps, as in the
 original paper. GLAD is binary by construction; the paper accordingly uses
 it only on the sentiment dataset ("GLAD, which is inapplicable on NER").
+
+Performance: every per-label quantity (σ(α_j β_i), the E-step evidence,
+the M-step residuals) lives on the crowd's cached flat COO triples
+(:meth:`~repro.crowd.types.CrowdLabelMatrix.flat_label_pairs`), so each
+E-step and each gradient-ascent step is a handful of O(n_obs) gathers plus
+one ``bincount`` scatter per aggregated quantity — never a dense ``(I, J)``
+scan of the mostly-missing label matrix. The pre-refactor dense
+implementation is kept as :func:`glad_reference` (the executable
+specification); equivalence at atol 1e-10 is enforced by
+``tests/inference/equivalence_harness.py`` and timed as the "before" side
+in ``benchmarks/bench_hotpaths.py``.
 """
 
 from __future__ import annotations
@@ -13,9 +24,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..crowd.types import CrowdLabelMatrix
-from .base import InferenceResult, TruthInferenceMethod
+from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 
-__all__ = ["GLAD"]
+__all__ = ["GLAD", "glad_reference"]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -33,6 +44,12 @@ class GLAD(TruthInferenceMethod):
         Inner ascent steps on (α, log β) per M-step.
     prior_correct:
         Prior probability that the true label is class 1.
+    tolerance:
+        Early-stop threshold on the posterior's max absolute change per EM
+        sweep. The default 0.0 never stops early (the paper's fixed-budget
+        behaviour, and what :func:`glad_reference` always does); it exists
+        so the shared diagnostics contract (``iterations``/``last_change``/
+        ``converged``) is meaningful.
     """
 
     name = "GLAD"
@@ -43,65 +60,154 @@ class GLAD(TruthInferenceMethod):
         gradient_steps: int = 20,
         learning_rate: float = 0.05,
         prior_correct: float = 0.5,
+        tolerance: float = 0.0,
     ) -> None:
+        if em_iterations < 1:
+            raise ValueError("need at least one EM iteration")
         if not 0.0 < prior_correct < 1.0:
             raise ValueError("prior must be in (0, 1)")
         self.em_iterations = em_iterations
         self.gradient_steps = gradient_steps
         self.learning_rate = learning_rate
         self.prior_correct = prior_correct
+        self.tolerance = tolerance
 
     def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
         if crowd.num_classes != 2:
             raise ValueError("GLAD supports binary labels only (as in the paper)")
         self._check_nonempty(crowd)
         I, J = crowd.num_instances, crowd.num_annotators
-        observed = crowd.observed_mask
-        # match[i, j] = +1 where the label equals class 1, else -1 (0 if missing).
-        sign = np.where(observed, np.where(crowd.labels == 1, 1.0, -1.0), 0.0)
+        rows, cols, given = crowd.flat_label_pairs()
+        # Per observed label: True where the label equals class 1.
+        votes_one = given == 1
+        labels_per_annotator = np.maximum(np.bincount(cols, minlength=J), 1)
+        labels_per_instance = np.maximum(np.bincount(rows, minlength=I), 1)
+        log_prior_ratio = np.log(self.prior_correct) - np.log(1 - self.prior_correct)
 
         alpha = np.ones(J)
         log_beta = np.zeros(I)
         posterior_one = np.full(I, self.prior_correct)
+        monitor = ConvergenceMonitor(self.tolerance, self.em_iterations)
 
-        for _ in range(self.em_iterations):
-            # E-step: p(t_i = 1 | labels) with σ(αβ) correctness likelihood.
-            strength = np.exp(log_beta)[:, None] * alpha[None, :]
-            log_sig = np.log(_sigmoid(strength) + 1e-12)
-            log_one_minus = np.log(1.0 - _sigmoid(strength) + 1e-12)
+        while True:
+            # E-step: p(t_i = 1 | labels) with σ(αβ) correctness likelihood,
+            # one gather per label and one scatter per evidence term.
+            beta = np.exp(log_beta)
+            sig = _sigmoid(beta[rows] * alpha[cols])
+            log_sig = np.log(sig + 1e-12)
+            log_one_minus = np.log(1.0 - sig + 1e-12)
             # If t=1: labels equal to 1 are correct; if t=0 they are wrong.
-            log_like_one = np.where(observed, np.where(sign > 0, log_sig, log_one_minus), 0.0).sum(axis=1)
-            log_like_zero = np.where(observed, np.where(sign < 0, log_sig, log_one_minus), 0.0).sum(axis=1)
-            logit = (
-                np.log(self.prior_correct) - np.log(1 - self.prior_correct)
-                + log_like_one - log_like_zero
+            log_like_one = np.bincount(
+                rows, weights=np.where(votes_one, log_sig, log_one_minus), minlength=I
             )
-            posterior_one = _sigmoid(logit)
+            log_like_zero = np.bincount(
+                rows, weights=np.where(votes_one, log_one_minus, log_sig), minlength=I
+            )
+            new_posterior_one = _sigmoid(log_prior_ratio + log_like_one - log_like_zero)
+            delta = float(np.abs(new_posterior_one - posterior_one).max(initial=0.0))
+            posterior_one = new_posterior_one
+            should_stop = monitor.step(delta)
+            if monitor.converged:
+                # Tolerance-triggered stop: the posterior is final, so the
+                # gradient ascent below would be dead work. (Never taken at
+                # the default tolerance 0.0 — the budget-exhausted path
+                # still runs the final M-step, exactly like the reference.)
+                break
 
-            # M-step: ascend expected complete log-likelihood in (α, log β).
+            # M-step: ascend expected complete log-likelihood in (α, log β);
+            # each gradient is one O(n_obs) residual plus one bincount.
             for _ in range(self.gradient_steps):
-                strength = np.exp(log_beta)[:, None] * alpha[None, :]
-                sig = _sigmoid(strength)
+                beta = np.exp(log_beta)
+                sig = _sigmoid(beta[rows] * alpha[cols])
                 # P(label j correct on i) under the posterior.
-                prob_correct = np.where(
-                    sign > 0, posterior_one[:, None], 1.0 - posterior_one[:, None]
-                )
-                residual = np.where(observed, prob_correct - sig, 0.0)
+                prob_correct = np.where(votes_one, posterior_one[rows], 1.0 - posterior_one[rows])
+                residual = prob_correct - sig
                 # Mean (not summed) gradients keep step sizes independent of
                 # how many labels an annotator/instance has.
-                labels_per_annotator = np.maximum(observed.sum(axis=0), 1)
-                labels_per_instance = np.maximum(observed.sum(axis=1), 1)
-                grad_alpha = (residual * np.exp(log_beta)[:, None]).sum(axis=0) / labels_per_annotator
+                grad_alpha = (
+                    np.bincount(cols, weights=residual * beta[rows], minlength=J)
+                    / labels_per_annotator
+                )
                 grad_log_beta = (
-                    (residual * alpha[None, :]).sum(axis=1) * np.exp(log_beta)
+                    np.bincount(rows, weights=residual * alpha[cols], minlength=I)
+                    * beta
                 ) / labels_per_instance
                 alpha += self.learning_rate * grad_alpha
                 log_beta += self.learning_rate * grad_log_beta
                 log_beta = np.clip(log_beta, -4.0, 4.0)
                 alpha = np.clip(alpha, -8.0, 8.0)
 
+            if should_stop:
+                break
+
         posterior = np.stack([1.0 - posterior_one, posterior_one], axis=1)
-        return InferenceResult(
-            posterior=posterior,
-            extras={"alpha": alpha, "beta": np.exp(log_beta)},
+        extras = monitor.extras()
+        extras.update({"alpha": alpha, "beta": np.exp(log_beta)})
+        return InferenceResult(posterior=posterior, extras=extras)
+
+
+def glad_reference(
+    crowd: CrowdLabelMatrix,
+    em_iterations: int = 30,
+    gradient_steps: int = 20,
+    learning_rate: float = 0.05,
+    prior_correct: float = 0.5,
+) -> InferenceResult:
+    """Pre-refactor GLAD (dense ``(I, J)`` masked scans every step).
+
+    Kept as the executable specification for the equivalence harness and
+    the benchmark baseline; use :class:`GLAD`.
+    """
+    if crowd.num_classes != 2:
+        raise ValueError("GLAD supports binary labels only (as in the paper)")
+    TruthInferenceMethod._check_nonempty(crowd)
+    I, J = crowd.num_instances, crowd.num_annotators
+    observed = crowd.observed_mask
+    # match[i, j] = +1 where the label equals class 1, else -1 (0 if missing).
+    sign = np.where(observed, np.where(crowd.labels == 1, 1.0, -1.0), 0.0)
+
+    alpha = np.ones(J)
+    log_beta = np.zeros(I)
+    posterior_one = np.full(I, prior_correct)
+
+    for _ in range(em_iterations):
+        # E-step: p(t_i = 1 | labels) with σ(αβ) correctness likelihood.
+        strength = np.exp(log_beta)[:, None] * alpha[None, :]
+        log_sig = np.log(_sigmoid(strength) + 1e-12)
+        log_one_minus = np.log(1.0 - _sigmoid(strength) + 1e-12)
+        # If t=1: labels equal to 1 are correct; if t=0 they are wrong.
+        log_like_one = np.where(observed, np.where(sign > 0, log_sig, log_one_minus), 0.0).sum(axis=1)
+        log_like_zero = np.where(observed, np.where(sign < 0, log_sig, log_one_minus), 0.0).sum(axis=1)
+        logit = (
+            np.log(prior_correct) - np.log(1 - prior_correct)
+            + log_like_one - log_like_zero
         )
+        posterior_one = _sigmoid(logit)
+
+        # M-step: ascend expected complete log-likelihood in (α, log β).
+        for _ in range(gradient_steps):
+            strength = np.exp(log_beta)[:, None] * alpha[None, :]
+            sig = _sigmoid(strength)
+            # P(label j correct on i) under the posterior.
+            prob_correct = np.where(
+                sign > 0, posterior_one[:, None], 1.0 - posterior_one[:, None]
+            )
+            residual = np.where(observed, prob_correct - sig, 0.0)
+            # Mean (not summed) gradients keep step sizes independent of
+            # how many labels an annotator/instance has.
+            labels_per_annotator = np.maximum(observed.sum(axis=0), 1)
+            labels_per_instance = np.maximum(observed.sum(axis=1), 1)
+            grad_alpha = (residual * np.exp(log_beta)[:, None]).sum(axis=0) / labels_per_annotator
+            grad_log_beta = (
+                (residual * alpha[None, :]).sum(axis=1) * np.exp(log_beta)
+            ) / labels_per_instance
+            alpha += learning_rate * grad_alpha
+            log_beta += learning_rate * grad_log_beta
+            log_beta = np.clip(log_beta, -4.0, 4.0)
+            alpha = np.clip(alpha, -8.0, 8.0)
+
+    posterior = np.stack([1.0 - posterior_one, posterior_one], axis=1)
+    return InferenceResult(
+        posterior=posterior,
+        extras={"alpha": alpha, "beta": np.exp(log_beta), "iterations": em_iterations},
+    )

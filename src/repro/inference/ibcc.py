@@ -92,7 +92,8 @@ class IBCC(TruthInferenceMethod):
             )
             new_posterior = normalize_log_posterior(log_posterior)
 
-            delta = float(np.abs(new_posterior - posterior).max())
+            # initial=0.0 keeps the degenerate empty crowd (I = 0) total.
+            delta = float(np.abs(new_posterior - posterior).max(initial=0.0))
             posterior = new_posterior
             confusions = count_matrix / count_matrix.sum(axis=2, keepdims=True)
             if monitor.step(delta):

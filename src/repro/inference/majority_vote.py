@@ -9,10 +9,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..crowd.types import CrowdLabelMatrix
+from ..crowd.types import MISSING, CrowdLabelMatrix
 from .base import InferenceResult, TruthInferenceMethod
 
-__all__ = ["MajorityVote", "majority_vote_posterior"]
+__all__ = ["MajorityVote", "majority_vote_posterior", "majority_vote_reference"]
 
 
 def majority_vote_posterior(crowd: CrowdLabelMatrix) -> np.ndarray:
@@ -30,3 +30,24 @@ class MajorityVote(TruthInferenceMethod):
 
     def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
         return InferenceResult(posterior=majority_vote_posterior(crowd))
+
+
+def majority_vote_reference(crowd: CrowdLabelMatrix) -> InferenceResult:
+    """Per-instance/per-annotator loop form of soft majority voting.
+
+    The executable specification the equivalence harness compares the
+    bincount-vectorized :class:`MajorityVote` against — every registered
+    method has a reference, including the trivial baseline.
+    """
+    I, J, K = crowd.num_instances, crowd.num_annotators, crowd.num_classes
+    posterior = np.full((I, K), 1.0 / K)
+    for i in range(I):
+        counts = np.zeros(K)
+        for j in range(J):
+            label = crowd.labels[i, j]
+            if label != MISSING:
+                counts[label] += 1.0
+        total = counts.sum()
+        if total > 0:
+            posterior[i] = counts / total
+    return InferenceResult(posterior=posterior)

@@ -5,6 +5,15 @@ Heuristic truth discovery: alternate (1) estimating each instance's answer
 by annotator-weighted voting with (2) re-estimating annotator weights from
 their agreement with the current estimates. Weights follow the classic
 truth-discovery update ``w_j ∝ -log(error_j)`` with clamping.
+
+Performance: both halves of the iteration run on the shared sparse-crowd
+kernels (:mod:`repro.inference.primitives`) — the agreement term is one
+:func:`~repro.inference.primitives.annotator_agreement` gather/scatter and
+the weighted vote one
+:func:`~repro.inference.primitives.weighted_vote_scores` spMM/bincount —
+instead of dense einsums over the ``(I, J, K)`` one-hot expansion. The
+pre-refactor implementation is kept as :func:`pm_reference`; equivalence
+at atol 1e-10 is enforced by ``tests/inference/equivalence_harness.py``.
 """
 
 from __future__ import annotations
@@ -12,10 +21,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..crowd.types import CrowdLabelMatrix
-from .base import InferenceResult, TruthInferenceMethod
+from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
+from .primitives import annotator_agreement, normalize_vote_scores, weighted_vote_scores
 
-__all__ = ["PM"]
+__all__ = ["PM", "pm_reference"]
 
 
 class PM(TruthInferenceMethod):
@@ -32,35 +42,70 @@ class PM(TruthInferenceMethod):
 
     def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
         self._check_nonempty(crowd)
-        one_hot = crowd.one_hot()                 # (I, J, K)
-        observed = crowd.observed_mask
-        counts = observed.sum(axis=0)             # labels per annotator
+        counts = np.maximum(crowd.annotations_per_annotator(), 1)
         posterior = majority_vote_posterior(crowd)
         weights = np.ones(crowd.num_annotators)
+        monitor = ConvergenceMonitor(self.tolerance, self.max_iterations)
 
-        iterations_used = self.max_iterations
-        for iteration in range(self.max_iterations):
+        while True:
             # Annotator error: expected disagreement with the soft estimate.
-            agreement = np.einsum("ijk,ik->ij", one_hot, posterior)
-            per_annotator_agreement = np.where(observed, agreement, 0.0).sum(axis=0)
-            error = 1.0 - per_annotator_agreement / np.maximum(counts, 1)
+            error = 1.0 - annotator_agreement(posterior, crowd) / counts
             error = np.clip(error, self.floor, 1.0 - self.floor)
             weights = -np.log(error)
 
-            scores = np.einsum("j,ijk->ik", weights, one_hot)
-            scores = np.maximum(scores, 0.0)
-            totals = scores.sum(axis=1, keepdims=True)
-            new_posterior = np.where(
-                totals > 0, scores / np.where(totals > 0, totals, 1.0),
-                np.full_like(scores, 1.0 / crowd.num_classes),
-            )
-            delta = float(np.abs(new_posterior - posterior).max())
+            scores = np.maximum(weighted_vote_scores(weights, crowd), 0.0)
+            new_posterior = normalize_vote_scores(scores)
+            delta = float(np.abs(new_posterior - posterior).max(initial=0.0))
             posterior = new_posterior
-            if delta < self.tolerance:
-                iterations_used = iteration + 1
+            if monitor.step(delta):
                 break
 
-        return InferenceResult(
-            posterior=posterior,
-            extras={"weights": weights, "iterations": iterations_used},
+        extras = monitor.extras()
+        extras["weights"] = weights
+        return InferenceResult(posterior=posterior, extras=extras)
+
+
+def pm_reference(
+    crowd: CrowdLabelMatrix,
+    max_iterations: int = 50,
+    tolerance: float = 1e-6,
+    floor: float = 1e-3,
+) -> InferenceResult:
+    """Pre-refactor PM (dense one-hot einsums over ``(I, J, K)``).
+
+    Kept as the executable specification for the equivalence harness and
+    the benchmark baseline; use :class:`PM`.
+    """
+    TruthInferenceMethod._check_nonempty(crowd)
+    one_hot = crowd.one_hot()                 # (I, J, K)
+    observed = crowd.observed_mask
+    counts = observed.sum(axis=0)             # labels per annotator
+    posterior = majority_vote_posterior(crowd)
+    weights = np.ones(crowd.num_annotators)
+
+    iterations_used = max_iterations
+    for iteration in range(max_iterations):
+        # Annotator error: expected disagreement with the soft estimate.
+        agreement = np.einsum("ijk,ik->ij", one_hot, posterior)
+        per_annotator_agreement = np.where(observed, agreement, 0.0).sum(axis=0)
+        error = 1.0 - per_annotator_agreement / np.maximum(counts, 1)
+        error = np.clip(error, floor, 1.0 - floor)
+        weights = -np.log(error)
+
+        scores = np.einsum("j,ijk->ik", weights, one_hot)
+        scores = np.maximum(scores, 0.0)
+        totals = scores.sum(axis=1, keepdims=True)
+        new_posterior = np.where(
+            totals > 0, scores / np.where(totals > 0, totals, 1.0),
+            np.full_like(scores, 1.0 / crowd.num_classes),
         )
+        delta = float(np.abs(new_posterior - posterior).max())
+        posterior = new_posterior
+        if delta < tolerance:
+            iterations_used = iteration + 1
+            break
+
+    return InferenceResult(
+        posterior=posterior,
+        extras={"weights": weights, "iterations": iterations_used},
+    )

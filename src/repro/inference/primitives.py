@@ -38,6 +38,9 @@ __all__ = [
     "confusion_counts",
     "emission_log_likelihood",
     "normalize_log_posterior",
+    "annotator_agreement",
+    "weighted_vote_scores",
+    "normalize_vote_scores",
     "chain_indices",
     "flat_chain_views",
     "token_majority_vote_flat",
@@ -113,6 +116,62 @@ def emission_log_likelihood(crowd, log_confusions: np.ndarray) -> np.ndarray:
         for m in range(K):
             out[:, m] = np.bincount(rows, weights=contrib[:, m], minlength=num_rows)
     return out
+
+
+def annotator_agreement(posterior: np.ndarray, crowd) -> np.ndarray:
+    """``A[j] = Σ_r posterior[r, y_rj]`` over observed labels, shape ``(J,)``.
+
+    The agreement term of the truth-discovery weight updates (PM's expected
+    non-error, CATD's complement of the error sum): gather each observed
+    label's soft-truth mass, then one scatter-add per annotator. Runs
+    directly on the cached COO triples — no scipy needed, O(n_obs) instead
+    of the dense ``(I, J, K)`` agreement einsum.
+    """
+    posterior = np.asarray(posterior, dtype=np.float64)
+    rows, annotators, given, num_rows, _ = crowd_views(crowd)
+    if posterior.shape != (num_rows, crowd.num_classes):
+        raise ValueError(
+            f"posterior shape {posterior.shape} != ({num_rows}, {crowd.num_classes})"
+        )
+    return np.bincount(
+        annotators, weights=posterior[rows, given], minlength=crowd.num_annotators
+    )
+
+
+def weighted_vote_scores(weights: np.ndarray, crowd) -> np.ndarray:
+    """``S[r, k] = Σ_{j : y_rj = k} w_j`` — annotator-weighted votes, ``(N, K)``.
+
+    The voting step of PM/CATD: with scipy it is one spMM of the cached
+    incidence against a ``(J·K, K)`` weight scatter, otherwise one
+    ``bincount`` over the COO triples. Rows with no labels come back zero
+    (callers decide the tie/empty policy).
+    """
+    K = crowd.num_classes
+    J = crowd.num_annotators
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (J,):
+        raise ValueError(f"weights shape {weights.shape} != ({J},)")
+    rows, annotators, given, num_rows, incidence = crowd_views(crowd)
+    if incidence is not None:
+        spread = np.zeros((J * K, K))
+        spread[np.arange(J * K), np.tile(np.arange(K), J)] = np.repeat(weights, K)
+        return np.asarray(incidence @ spread)
+    key = rows * K + given
+    scores = np.bincount(key, weights=weights[annotators], minlength=num_rows * K)
+    return scores.reshape(num_rows, K)
+
+
+def normalize_vote_scores(scores: np.ndarray) -> np.ndarray:
+    """Turn nonnegative ``(N, K)`` vote scores into row distributions.
+
+    The shared tie/empty policy of the weighted-voting methods (PM/CATD):
+    rows with zero total mass fall back to uniform.
+    """
+    totals = scores.sum(axis=1, keepdims=True)
+    return np.where(
+        totals > 0, scores / np.where(totals > 0, totals, 1.0),
+        np.full_like(scores, 1.0 / scores.shape[1]),
+    )
 
 
 def normalize_log_posterior(log_posterior: np.ndarray) -> np.ndarray:

@@ -32,6 +32,7 @@ class NERTaggerConfig:
     gru_hidden: int = 50
     dropout: float = 0.5
     static_embeddings: bool = True
+    conv_variant: str = "auto"
 
     def __post_init__(self) -> None:
         if self.conv_width < 1:
@@ -56,7 +57,10 @@ class NERTagger(SequenceTagger):
         self.embedding = Embedding(
             vocab_size, dim, pretrained=embeddings, trainable=not config.static_embeddings
         )
-        self.conv = Conv1dSeq(dim, config.conv_features, config.conv_width, rng, pad="same")
+        self.conv = Conv1dSeq(
+            dim, config.conv_features, config.conv_width, rng,
+            pad="same", variant=config.conv_variant,
+        )
         self.dropout = Dropout(config.dropout, rng)
         self.gru = GRU(config.conv_features, config.gru_hidden, rng)
         self.output = Linear(config.gru_hidden, config.num_classes, rng)

@@ -36,6 +36,7 @@ class TextCNNConfig:
     dropout: float = 0.5
     max_norm: float = 3.0
     static_embeddings: bool = True
+    conv_variant: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.filter_windows:
@@ -69,7 +70,8 @@ class TextCNN(TextClassifier):
             vocab_size, dim, pretrained=embeddings, trainable=not config.static_embeddings
         )
         self.convs = [
-            Conv1dSeq(dim, config.feature_maps, width, rng) for width in config.filter_windows
+            Conv1dSeq(dim, config.feature_maps, width, rng, variant=config.conv_variant)
+            for width in config.filter_windows
         ]
         self.dropout = Dropout(config.dropout, rng)
         hidden = config.feature_maps * len(config.filter_windows)

@@ -1,0 +1,318 @@
+"""Randomized new-vs-reference equivalence harness for truth inference.
+
+The vectorization discipline that made PRs 1-3 safe, packaged: every
+method registered in :mod:`repro.inference.registry` must have an entry in
+:data:`REFERENCE_IMPLEMENTATIONS` (its pre-refactor executable
+specification), and :func:`assert_matches_reference` pins the vectorized
+implementation to that spec at atol 1e-10 on seeded random crowds —
+posterior(s), confusion matrices, and the iteration count, so convergence
+behaviour is pinned too.
+
+Crowd generation covers the axes that historically break vectorized
+rewrites: crowd size (I/J/K), sparsity (dense redundancy down to one label
+per instance), adversarial annotators (systematically anti-correlated),
+single-annotator and unanimous crowds, and empty/degenerate containers.
+Degenerate cases the pre-refactor implementations crash on (empty crowds,
+zero-length sentences) are marked ``reference_comparable=False`` and go
+through :func:`assert_degenerate_ok` instead: the *new* code must handle
+them gracefully even though the old code never did.
+
+To vectorize another method in a future PR:
+
+1. keep the old implementation as ``<method>_reference``;
+2. point ``REFERENCE_IMPLEMENTATIONS[(kind, name)]`` at it;
+3. done — ``test_equivalence_harness.py`` parametrizes over
+   ``available_methods()`` × :func:`crowd_cases`, so the new method is
+   pinned on every case without hand-rolling fixtures. A meta-test fails
+   if a registered method has no reference entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
+from repro.inference import (
+    SequenceInferenceResult,
+    bsc_seq_reference,
+    catd_reference,
+    dawid_skene_reference,
+    get_method,
+    glad_reference,
+    hmm_crowd_reference,
+    ibcc_reference,
+    majority_vote_reference,
+    pm_reference,
+)
+from repro.inference.sequence_utils import flatten_sequence_crowd
+
+__all__ = [
+    "CrowdCase",
+    "crowd_cases",
+    "random_classification_crowd",
+    "random_sequence_crowd",
+    "REFERENCE_IMPLEMENTATIONS",
+    "METHOD_OVERRIDES",
+    "method_supports",
+    "assert_matches_reference",
+    "assert_degenerate_ok",
+]
+
+
+# --------------------------------------------------------------------- #
+# Crowd generation
+# --------------------------------------------------------------------- #
+def random_classification_crowd(
+    seed: int,
+    instances: int,
+    annotators: int,
+    classes: int,
+    mean_labels: float = 4.0,
+    adversarial: int = 0,
+) -> CrowdLabelMatrix:
+    """Seeded random crowd with controllable sparsity and adversaries.
+
+    Each instance draws ``Poisson(mean_labels - 1) + 1`` annotators (so the
+    long tail of single-label instances appears at low means). Annotator
+    accuracies are uniform in [0.55, 0.95] except the first
+    ``adversarial`` annotators, who are anti-correlated (accuracy in
+    [0.02, 0.2]) — the regime GLAD's negative-ability and PM/CATD's
+    weighting must survive.
+    """
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, classes, size=instances)
+    accuracy = rng.uniform(0.55, 0.95, size=annotators)
+    if adversarial:
+        accuracy[:adversarial] = rng.uniform(0.02, 0.2, size=adversarial)
+    labels = np.full((instances, annotators), MISSING, dtype=np.int64)
+    for i in range(instances):
+        count = min(int(rng.poisson(max(mean_labels - 1.0, 0.0))) + 1, annotators)
+        chosen = rng.choice(annotators, size=count, replace=False)
+        correct = rng.random(count) < accuracy[chosen]
+        wrong = (truth[i] + rng.integers(1, classes, size=count)) % classes
+        labels[i, chosen] = np.where(correct, truth[i], wrong)
+    return CrowdLabelMatrix(labels, classes)
+
+
+def random_sequence_crowd(
+    seed: int,
+    sentences: int,
+    annotators: int,
+    classes: int,
+    t_max: int = 12,
+    per_sentence: int = 3,
+    allow_empty_sentences: bool = False,
+) -> SequenceCrowdLabels:
+    """Seeded random sequence crowd (each annotator labels whole sentences)."""
+    rng = np.random.default_rng(seed)
+    labels = []
+    for index in range(sentences):
+        low = 0 if allow_empty_sentences and index % 4 == 1 else 1
+        t = int(rng.integers(low, t_max + 1))
+        matrix = np.full((t, annotators), MISSING, dtype=np.int64)
+        chosen = rng.choice(annotators, size=min(per_sentence, annotators), replace=False)
+        for j in chosen:
+            matrix[:, j] = rng.integers(0, classes, size=t)
+        labels.append(matrix)
+    return SequenceCrowdLabels(labels, classes, annotators)
+
+
+def _unanimous_crowd(seed: int, instances: int, annotators: int, classes: int) -> CrowdLabelMatrix:
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, classes, size=instances)
+    return CrowdLabelMatrix(np.repeat(truth[:, None], annotators, axis=1), classes)
+
+
+def _single_annotator_crowd(seed: int, instances: int, classes: int) -> CrowdLabelMatrix:
+    rng = np.random.default_rng(seed)
+    return CrowdLabelMatrix(rng.integers(0, classes, size=(instances, 1)), classes)
+
+
+@dataclass(frozen=True)
+class CrowdCase:
+    """One named crowd configuration the whole method matrix runs on."""
+
+    name: str
+    kind: str  # "classification" | "sequence"
+    build: Callable[[], object]
+    # False → the pre-refactor reference cannot run this (e.g. empty
+    # crowds); the new implementation is checked behaviourally instead.
+    reference_comparable: bool = True
+
+
+def crowd_cases(kind: str | None = None) -> list[CrowdCase]:
+    """The harness's case matrix, optionally filtered by kind."""
+    cases = [
+        CrowdCase(
+            "binary-dense", "classification",
+            lambda: random_classification_crowd(11, instances=120, annotators=8, classes=2, mean_labels=5.0),
+        ),
+        CrowdCase(
+            "binary-sparse-adversarial", "classification",
+            lambda: random_classification_crowd(23, instances=150, annotators=20, classes=2,
+                                                mean_labels=2.0, adversarial=5),
+        ),
+        CrowdCase(
+            "multiclass-midsize", "classification",
+            lambda: random_classification_crowd(37, instances=200, annotators=15, classes=4, mean_labels=4.0),
+        ),
+        CrowdCase(
+            "multiclass-long-tail", "classification",
+            lambda: random_classification_crowd(41, instances=90, annotators=40, classes=3, mean_labels=1.5),
+        ),
+        CrowdCase(
+            "single-annotator", "classification",
+            lambda: _single_annotator_crowd(53, instances=40, classes=2),
+        ),
+        CrowdCase(
+            "unanimous", "classification",
+            lambda: _unanimous_crowd(59, instances=60, annotators=5, classes=2),
+        ),
+        CrowdCase(
+            "one-instance", "classification",
+            lambda: random_classification_crowd(61, instances=1, annotators=6, classes=2, mean_labels=4.0),
+        ),
+        CrowdCase(
+            # Binary so every classification method (including GLAD) runs it.
+            "empty-crowd", "classification",
+            lambda: CrowdLabelMatrix(np.zeros((0, 4), dtype=np.int64), 2),
+            reference_comparable=False,
+        ),
+        CrowdCase(
+            "seq-midsize", "sequence",
+            lambda: random_sequence_crowd(67, sentences=25, annotators=6, classes=5),
+        ),
+        CrowdCase(
+            "seq-binary-sparse", "sequence",
+            lambda: random_sequence_crowd(71, sentences=30, annotators=10, classes=2, per_sentence=1),
+        ),
+        CrowdCase(
+            "seq-empty-sentences", "sequence",
+            lambda: random_sequence_crowd(73, sentences=16, annotators=5, classes=3,
+                                          allow_empty_sentences=True),
+            reference_comparable=False,
+        ),
+        CrowdCase(
+            "seq-empty-crowd", "sequence",
+            lambda: SequenceCrowdLabels([], num_classes=4, num_annotators=3),
+            reference_comparable=False,
+        ),
+    ]
+    if kind is not None:
+        cases = [case for case in cases if case.kind == kind]
+    return cases
+
+
+# --------------------------------------------------------------------- #
+# Reference registry
+# --------------------------------------------------------------------- #
+def _token_level_reference(classification_reference: Callable) -> Callable:
+    """Reference twin of ``TokenLevelInference``: flatten, run the
+    classification reference per token, unflatten."""
+
+    def run(crowd: SequenceCrowdLabels, **params) -> SequenceInferenceResult:
+        flat, slices = flatten_sequence_crowd(crowd)
+        result = classification_reference(flat, **params)
+        return SequenceInferenceResult(
+            posteriors=[result.posterior[s] for s in slices],
+            confusions=result.confusions,
+            extras=dict(result.extras),
+        )
+
+    return run
+
+
+# (kind, registered name) → pre-refactor executable specification. Every
+# name in available_methods() must appear here; the meta-test in
+# test_equivalence_harness.py enforces it.
+REFERENCE_IMPLEMENTATIONS: dict[tuple[str, str], Callable] = {
+    ("classification", "MV"): majority_vote_reference,
+    ("classification", "DS"): dawid_skene_reference,
+    ("classification", "GLAD"): glad_reference,
+    ("classification", "PM"): pm_reference,
+    ("classification", "CATD"): catd_reference,
+    ("classification", "IBCC"): ibcc_reference,
+    ("sequence", "MV"): _token_level_reference(majority_vote_reference),
+    ("sequence", "DS"): _token_level_reference(dawid_skene_reference),
+    ("sequence", "IBCC"): _token_level_reference(ibcc_reference),
+    ("sequence", "BSC-seq"): bsc_seq_reference,
+    ("sequence", "HMM-Crowd"): hmm_crowd_reference,
+}
+
+# Constructor keywords applied to BOTH sides of a comparison (keeps the
+# harness fast without loosening the pin; both signatures must accept them).
+METHOD_OVERRIDES: dict[tuple[str, str], dict] = {
+    ("classification", "GLAD"): {"em_iterations": 15, "gradient_steps": 15},
+    ("sequence", "BSC-seq"): {"max_iterations": 10},
+    ("sequence", "HMM-Crowd"): {"max_iterations": 10},
+}
+
+
+def method_supports(name: str, kind: str, crowd) -> bool:
+    """Structural applicability (GLAD is binary-only, as in the paper)."""
+    if name == "GLAD":
+        return crowd.num_classes == 2
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Assertions
+# --------------------------------------------------------------------- #
+def _assert_posteriors_close(result, expected, kind: str, atol: float, context: str) -> None:
+    if kind == "classification":
+        np.testing.assert_allclose(
+            result.posterior, expected.posterior, atol=atol, rtol=0,
+            err_msg=f"posterior diverged from reference ({context})",
+        )
+    else:
+        assert len(result.posteriors) == len(expected.posteriors), context
+        for i, (new, old) in enumerate(zip(result.posteriors, expected.posteriors)):
+            np.testing.assert_allclose(
+                new, old, atol=atol, rtol=0,
+                err_msg=f"sentence {i} posterior diverged from reference ({context})",
+            )
+
+
+def assert_matches_reference(name: str, kind: str, crowd, atol: float = 1e-10) -> None:
+    """Pin the registered method to its reference on one crowd.
+
+    Compares posterior(s), confusion matrices when both sides model them,
+    and the reported iteration count (convergence behaviour is part of the
+    contract, not an implementation detail).
+    """
+    params = METHOD_OVERRIDES.get((kind, name), {})
+    reference = REFERENCE_IMPLEMENTATIONS[(kind, name)]
+    result = get_method(name, kind=kind, **params).infer(crowd)
+    expected = reference(crowd, **params)
+    context = f"method={name} kind={kind}"
+    _assert_posteriors_close(result, expected, kind, atol, context)
+    if result.confusions is not None and expected.confusions is not None:
+        np.testing.assert_allclose(
+            result.confusions, expected.confusions, atol=atol, rtol=0,
+            err_msg=f"confusions diverged from reference ({context})",
+        )
+    if "iterations" in expected.extras:
+        assert result.extras.get("iterations") == expected.extras["iterations"], (
+            f"iteration count diverged ({context}): "
+            f"{result.extras.get('iterations')} != {expected.extras['iterations']}"
+        )
+
+
+def assert_degenerate_ok(name: str, kind: str, crowd) -> None:
+    """Behavioural contract on crowds the pre-refactor code crashed on:
+    the method must run and return well-formed, finite, normalized output."""
+    params = METHOD_OVERRIDES.get((kind, name), {})
+    result = get_method(name, kind=kind, **params).infer(crowd)
+    if kind == "classification":
+        posteriors = [result.posterior]
+        assert result.posterior.shape == (crowd.num_instances, crowd.num_classes)
+    else:
+        posteriors = result.posteriors
+        assert len(posteriors) == crowd.num_instances
+    for posterior in posteriors:
+        assert np.isfinite(posterior).all()
+        if posterior.size:
+            np.testing.assert_allclose(posterior.sum(axis=1), 1.0, atol=1e-8)

@@ -1,0 +1,67 @@
+"""Run every registered truth-inference method through the randomized
+equivalence harness (see ``equivalence_harness.py`` for the case matrix
+and the add-a-method recipe)."""
+
+import pytest
+
+from repro.inference import available_methods
+
+from .equivalence_harness import (
+    REFERENCE_IMPLEMENTATIONS,
+    assert_degenerate_ok,
+    assert_matches_reference,
+    crowd_cases,
+    method_supports,
+)
+
+KINDS = ("classification", "sequence")
+
+
+def _matrix(reference_comparable: bool):
+    """(kind, method name, case) triples for the full harness sweep."""
+    triples = []
+    for kind in KINDS:
+        for case in crowd_cases(kind):
+            if case.reference_comparable != reference_comparable:
+                continue
+            for name in available_methods(kind):
+                triples.append(pytest.param(name, kind, case, id=f"{kind}-{name}-{case.name}"))
+    return triples
+
+
+@pytest.mark.parametrize("name,kind,case", _matrix(reference_comparable=True))
+def test_method_matches_reference_on_random_crowds(name, kind, case):
+    crowd = case.build()
+    if not method_supports(name, kind, crowd):
+        pytest.skip(f"{name} does not apply to {case.name}")
+    assert_matches_reference(name, kind, crowd, atol=1e-10)
+
+
+@pytest.mark.parametrize("name,kind,case", _matrix(reference_comparable=False))
+def test_method_handles_degenerate_crowds(name, kind, case):
+    crowd = case.build()
+    if not method_supports(name, kind, crowd):
+        pytest.skip(f"{name} does not apply to {case.name}")
+    assert_degenerate_ok(name, kind, crowd)
+
+
+def test_every_registered_method_has_a_reference():
+    """Forcing function: a newly registered method without a pre-refactor
+    executable specification fails here, not silently skips the harness."""
+    for kind in KINDS:
+        for name in available_methods(kind):
+            assert (kind, name) in REFERENCE_IMPLEMENTATIONS, (
+                f"method {name!r} ({kind}) registered without a reference "
+                "implementation — add it to REFERENCE_IMPLEMENTATIONS in "
+                "tests/inference/equivalence_harness.py"
+            )
+
+
+def test_case_matrix_covers_both_kinds_and_degenerate_crowds():
+    """The harness itself must keep covering the axes the tentpole names."""
+    for kind in KINDS:
+        cases = crowd_cases(kind)
+        assert any(case.reference_comparable for case in cases)
+        assert any(not case.reference_comparable for case in cases)
+    names = {case.name for case in crowd_cases()}
+    assert {"binary-sparse-adversarial", "single-annotator", "unanimous", "empty-crowd"} <= names

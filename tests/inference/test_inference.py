@@ -121,6 +121,18 @@ class TestGLAD:
     def test_prior_validation(self):
         with pytest.raises(ValueError):
             GLAD(prior_correct=0.0)
+        with pytest.raises(ValueError):
+            GLAD(em_iterations=0)
+
+    def test_tolerance_enables_early_stop(self):
+        truth, crowd = _simulated(seed=12)
+        eager = GLAD(tolerance=1e9).infer(crowd)
+        assert eager.extras["iterations"] == 1
+        assert eager.extras["converged"]
+        # Default tolerance 0.0 never stops early (the paper's fixed budget).
+        full = GLAD().infer(crowd)
+        assert full.extras["iterations"] == GLAD().em_iterations
+        assert not full.extras["converged"]
 
 
 class TestPMAndCATD:
@@ -180,6 +192,67 @@ class TestIBCC:
     def test_prior_validation(self):
         with pytest.raises(ValueError):
             IBCC(prior_diagonal=0.0)
+
+
+class TestGLADGradientConvergence:
+    """GLAD's inner gradient ascent must actually *work*, not just run: on
+    a separable crowd (two experts, three coin-flippers, one adversary)
+    only learned abilities — including a *negative* one — beat equal-vote
+    majority voting."""
+
+    def test_beats_mv_on_separable_heterogeneous_crowd(self):
+        rng = np.random.default_rng(42)
+        truth = rng.integers(0, 2, size=600)
+        accuracies = (0.95, 0.93, 0.57, 0.55, 0.55, 0.12)
+        columns = [
+            np.where(rng.random(600) < p, truth, 1 - truth) for p in accuracies
+        ]
+        crowd = CrowdLabelMatrix(np.stack(columns, axis=1), 2)
+        mv = posterior_accuracy(truth, MajorityVote().infer(crowd).posterior)
+        result = GLAD().infer(crowd)
+        glad = posterior_accuracy(truth, result.posterior)
+        assert glad > mv
+        assert glad > 0.9
+        # The adversary is identified by sign, not merely down-weighted.
+        assert result.extras["alpha"][-1] < 0
+        assert result.extras["alpha"][0] > result.extras["alpha"][2]
+
+    def test_learns_negative_ability_for_adversaries(self):
+        rng = np.random.default_rng(43)
+        truth = rng.integers(0, 2, size=500)
+        labels = np.stack(
+            [truth, truth, np.where(rng.random(500) < 0.1, truth, 1 - truth)], axis=1
+        )
+        result = GLAD().infer(CrowdLabelMatrix(labels, 2))
+        assert result.extras["alpha"][2] < 0  # adversary, not merely noisy
+        assert result.extras["iterations"] == GLAD().em_iterations
+
+
+class TestWeightedVotingDegenerateCrowds:
+    """PM/CATD on single-annotator and unanimous crowds: the agreement
+    terms hit their boundary values (error → 0) and must stay finite."""
+
+    @pytest.mark.parametrize("method_cls", [PM, CATD])
+    def test_single_annotator_crowd_no_nans(self, method_cls):
+        rng = np.random.default_rng(44)
+        labels = rng.integers(0, 3, size=(40, 1))
+        result = method_cls().infer(CrowdLabelMatrix(labels, 3))
+        assert np.isfinite(result.posterior).all()
+        assert np.isfinite(result.extras["weights"]).all()
+        # The lone annotator's labels are the only evidence: posterior must
+        # follow them exactly.
+        np.testing.assert_array_equal(result.hard_labels(), labels[:, 0])
+
+    @pytest.mark.parametrize("method_cls", [PM, CATD])
+    def test_unanimous_crowd_no_nans(self, method_cls):
+        rng = np.random.default_rng(45)
+        truth = rng.integers(0, 2, size=80)
+        labels = np.repeat(truth[:, None], 4, axis=1)
+        result = method_cls().infer(CrowdLabelMatrix(labels, 2))
+        assert np.isfinite(result.posterior).all()
+        assert np.isfinite(result.extras["weights"]).all()
+        np.testing.assert_array_equal(result.hard_labels(), truth)
+        assert result.extras["converged"]
 
 
 class TestAgainstKnownOptimum:

@@ -2,8 +2,9 @@
 
 The batched forward–backward must match the per-chain reference (gamma,
 xi sums, log-likelihood) on ragged chains, and the confusion-count /
-emission-log-likelihood kernels must agree between their sparse-incidence
-and bincount fallback paths on both crowd containers.
+emission-log-likelihood / weighted-vote kernels must agree between their
+sparse-incidence and bincount fallback paths on both crowd containers
+(and against the dense one-hot einsums they replaced).
 """
 
 import numpy as np
@@ -12,12 +13,15 @@ import pytest
 from repro.crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
 from repro.inference import forward_backward
 from repro.inference.primitives import (
+    annotator_agreement,
     batched_forward_backward,
     confusion_counts,
     crowd_views,
     emission_log_likelihood,
     normalize_log_posterior,
+    normalize_vote_scores,
     pad_ragged,
+    weighted_vote_scores,
 )
 
 
@@ -179,12 +183,18 @@ class TestSharedKernels:
             if isinstance(crowd, SequenceCrowdLabels)
             else "label_incidence"
         )
+        weights = rng.random(crowd.num_annotators) + 0.1
+        sparse_scores = weighted_vote_scores(weights, crowd)
+
         monkeypatch.setattr(type(crowd), incidence_name, lambda self: None)
         np.testing.assert_allclose(
             confusion_counts(posterior, crowd), sparse_counts, atol=1e-12, rtol=0
         )
         np.testing.assert_allclose(
             emission_log_likelihood(crowd, log_conf), sparse_ll, atol=1e-12, rtol=0
+        )
+        np.testing.assert_allclose(
+            weighted_vote_scores(weights, crowd), sparse_scores, atol=1e-12, rtol=0
         )
 
     def test_counts_match_dense_einsum(self):
@@ -210,6 +220,31 @@ class TestSharedKernels:
             emission_log_likelihood(crowd, log_conf), dense, atol=1e-12, rtol=0
         )
 
+    def test_agreement_matches_dense_einsum(self):
+        crowd = classification_crowd(16)
+        rng = np.random.default_rng(17)
+        posterior = rng.dirichlet(np.ones(crowd.num_classes), size=crowd.num_instances)
+        agreement = np.einsum("ijk,ik->ij", crowd.one_hot(), posterior)
+        dense = np.where(crowd.observed_mask, agreement, 0.0).sum(axis=0)
+        np.testing.assert_allclose(
+            annotator_agreement(posterior, crowd), dense, atol=1e-12, rtol=0
+        )
+
+    def test_vote_scores_match_dense_einsum(self):
+        crowd = classification_crowd(18)
+        rng = np.random.default_rng(19)
+        weights = rng.random(crowd.num_annotators) + 0.1
+        dense = np.einsum("j,ijk->ik", weights, crowd.one_hot())
+        np.testing.assert_allclose(
+            weighted_vote_scores(weights, crowd), dense, atol=1e-12, rtol=0
+        )
+
+    def test_normalize_vote_scores_uniform_on_empty_rows(self):
+        scores = np.array([[2.0, 2.0, 0.0], [0.0, 0.0, 0.0]])
+        posterior = normalize_vote_scores(scores)
+        np.testing.assert_allclose(posterior[0], [0.5, 0.5, 0.0])
+        np.testing.assert_allclose(posterior[1], [1 / 3, 1 / 3, 1 / 3])
+
     def test_shape_validation(self):
         crowd = classification_crowd(12)
         with pytest.raises(ValueError):
@@ -218,6 +253,10 @@ class TestSharedKernels:
             emission_log_likelihood(crowd, np.zeros((1, 2, 2)))
         with pytest.raises(TypeError):
             crowd_views([1, 2, 3])
+        with pytest.raises(ValueError):
+            annotator_agreement(np.zeros((3, crowd.num_classes)), crowd)
+        with pytest.raises(ValueError):
+            weighted_vote_scores(np.zeros(crowd.num_annotators + 1), crowd)
 
     def test_normalize_log_posterior(self):
         rng = np.random.default_rng(13)

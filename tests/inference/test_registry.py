@@ -182,3 +182,50 @@ class TestInterfaceContract:
         second = get_method(name, kind="sequence").infer(crowd)
         for a, b in zip(first.posteriors, second.posteriors):
             np.testing.assert_array_equal(a, b)
+
+
+class TestDiagnosticsContract:
+    """Every *iterative* method must expose the shared ConvergenceMonitor
+    keys — the contract the PR-3 sweep extended to GLAD/PM/CATD (which used
+    to report ad-hoc extras or none at all)."""
+
+    ITERATIVE_CLASSIFICATION = ["DS", "IBCC", "GLAD", "PM", "CATD"]
+
+    @pytest.mark.parametrize("name", ITERATIVE_CLASSIFICATION)
+    def test_monitor_keys_present_and_sane(self, name, small_classification_crowd):
+        extras = get_method(name, kind="classification").infer(small_classification_crowd).extras
+        assert {"iterations", "last_change", "converged"} <= set(extras)
+        assert extras["iterations"] >= 1
+        assert np.isfinite(extras["last_change"])
+        assert isinstance(extras["converged"], bool)
+
+    @pytest.mark.parametrize("name", ["GLAD", "PM", "CATD"])
+    def test_method_specific_extras_preserved(self, name, small_classification_crowd):
+        extras = get_method(name, kind="classification").infer(small_classification_crowd).extras
+        if name == "GLAD":
+            assert extras["alpha"].shape == (small_classification_crowd.num_annotators,)
+            assert extras["beta"].shape == (small_classification_crowd.num_instances,)
+        else:
+            assert extras["weights"].shape == (small_classification_crowd.num_annotators,)
+
+    def test_mv_is_intentionally_monitor_free(self, small_classification_crowd):
+        # MV is closed-form; the diagnostics contract applies to iterative
+        # methods only, and MV advertising fake iteration counts would lie.
+        extras = get_method("MV", kind="classification").infer(small_classification_crowd).extras
+        assert "iterations" not in extras
+
+    def test_converged_methods_report_subtolerance_change(self, small_classification_crowd):
+        for name in ("PM", "CATD"):
+            method = get_method(name, kind="classification")
+            extras = method.infer(small_classification_crowd).extras
+            if extras["converged"]:
+                assert extras["last_change"] < method.tolerance
+
+    def test_registered_kinds_match_paper_applicability(self):
+        # GLAD/PM/CATD are instance-level methods (GLAD binary-only — "GLAD,
+        # which is inapplicable on NER"); none of them is a sequence method.
+        sequence = set(available_methods("sequence"))
+        classification = set(available_methods("classification"))
+        assert {"GLAD", "PM", "CATD"} <= classification
+        assert not ({"GLAD", "PM", "CATD"} & sequence)
+        assert "MV" in classification and "MV" in sequence

@@ -3,10 +3,11 @@
 Runs ``benchmarks/bench_hotpaths.py --smoke`` in a subprocess (fresh
 interpreter, exactly as CI would) and fails if it errors — so a change
 that breaks any seed-vs-live equivalence check (fused GRU, vectorized
-sequence EM, sparse DS EM, batched forward–backward), or the harness
-itself, fails the tier-1 suite. The smoke run finishes in a few
-seconds; it measures tiny sizes and makes no speedup assertions (wall
-clock on shared CI boxes is not a contract).
+sequence EM, sparse DS EM, batched forward–backward, sparse GLAD/PM/CATD,
+the width-loop conv1d step), or the harness itself, fails the tier-1
+suite. The smoke run finishes in a few seconds; it measures tiny sizes
+and makes no speedup assertions (wall clock on shared CI boxes is not a
+contract).
 """
 
 import json
@@ -42,8 +43,16 @@ def test_bench_hotpaths_smoke_runs_and_writes_json(tmp_path):
 
     payload = json.loads(output.read_text())
     assert payload["smoke"] is True
-    for section in ("gru", "sequence_em", "dawid_skene", "forward_backward"):
+    sections = (
+        "gru", "sequence_em", "dawid_skene", "forward_backward",
+        "glad", "pm_catd", "conv1d",
+    )
+    for section in sections:
         entry = payload[section]
         assert entry["before_ms"] > 0 and entry["after_ms"] > 0
         # Equivalence is asserted inside the harness; re-check it landed.
-        assert entry["max_abs_diff"] < 1e-10
+        # conv1d's two BLAS paths split the width·D reduction differently,
+        # so its bound is float64 round-off rather than the 1e-10 the
+        # identical-order inference rewrites achieve.
+        assert entry["max_abs_diff"] < (1e-9 if section == "conv1d" else 1e-10)
+    assert payload["conv1d"]["buffer_bytes_avoided"] > 0
