@@ -30,6 +30,15 @@ frozen seed-commit implementations (``seed_baseline.py``):
   the ``(B, T_out, width·D)`` window buffer, at the tagger's embedding
   scale (B=32, T=50, D=300). The headline here is the removed buffer
   (``buffer_bytes_avoided``), not the speedup.
+* **streaming** — a label stream ingested end to end: stepwise-EM
+  streaming DS (``partial_fit`` + result assembly per batch) vs. the
+  naive seed-era loop that re-runs the full dense DS EM from scratch
+  after every batch. Alongside the total-stream speedup it records
+  first-vs-last per-update costs for both sides — the streaming side's
+  update cost scales with the batch, the naive side's with everything
+  seen so far. Equivalence: replaying the stream with no decay and
+  converging must reproduce the full-crowd DS posterior (atol 1e-8, the
+  streaming replay contract).
 
 Both sides of each comparison run interleaved in the same process,
 best-of-N, because this box's wall-clock is noisy. Sentence lengths are
@@ -75,6 +84,7 @@ from seed_baseline import (  # noqa: E402
     seed_pm,
     seed_sequence_posterior_qa,
     seed_sequence_update_confusions,
+    seed_streaming_full_recompute,
 )
 
 from repro.autodiff import Tensor, functional as F  # noqa: E402
@@ -89,6 +99,7 @@ from repro.inference.dawid_skene import DawidSkene  # noqa: E402
 from repro.inference.glad import GLAD  # noqa: E402
 from repro.inference.pm import PM  # noqa: E402
 from repro.inference.primitives import batched_forward_backward  # noqa: E402
+from repro.inference.streaming import StreamingDawidSkene  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 HISTORY_DIR = Path(__file__).resolve().parent / "history"
@@ -458,6 +469,75 @@ def bench_conv1d(batch, t_max, dim, width, feats, repeats, rng) -> dict:
     }
 
 
+# --------------------------------------------------------------------- #
+# Streaming truth inference: stepwise EM vs. naive full recompute per batch
+# --------------------------------------------------------------------- #
+def bench_streaming(instances, annotators, classes, batches, iterations, repeats, rng) -> dict:
+    labels = make_classification_labels(rng, instances, annotators, classes)
+    blocks = np.array_split(labels, batches, axis=0)
+
+    def run_streaming():
+        stream = StreamingDawidSkene(max_iterations=iterations, tolerance=1e-6)
+        per_update = []
+        for block in blocks:
+            start = time.perf_counter()
+            stream.partial_fit(CrowdLabelMatrix(block, classes))
+            stream.result()  # posteriors over everything seen, every batch
+            per_update.append(time.perf_counter() - start)
+        return stream, per_update
+
+    def run_seed():
+        per_update, final = [], None
+        recompute = seed_streaming_full_recompute(
+            blocks, classes, max_iterations=iterations, tolerance=1e-6
+        )
+        for _ in range(batches):
+            start = time.perf_counter()
+            final = next(recompute)
+            per_update.append(time.perf_counter() - start)
+        return final, per_update
+
+    # The replay contract: no-decay stream + convergence == full-crowd DS.
+    stream, _ = run_streaming()
+    converged = stream.fit_to_convergence()
+    seed_posterior, seed_confusions, _ = seed_dawid_skene(
+        labels, classes, max_iterations=iterations, tolerance=1e-6
+    )
+    max_diff = float(
+        max(
+            np.abs(converged.posterior - seed_posterior).max(),
+            np.abs(converged.confusions - seed_confusions).max(),
+        )
+    )
+    if max_diff > 1e-8:
+        raise AssertionError(f"streaming replay diverged from full-crowd DS: {max_diff}")
+
+    stream_s, seed_s = np.inf, np.inf
+    stream_updates = seed_updates = None
+    for _ in range(repeats):
+        _, per_update = run_streaming()
+        if sum(per_update) < stream_s:
+            stream_s, stream_updates = sum(per_update), per_update
+        _, per_update = run_seed()
+        if sum(per_update) < seed_s:
+            seed_s, seed_updates = sum(per_update), per_update
+    return {
+        "config": {"I": instances, "J": annotators, "K": classes,
+                   "batches": batches, "iterations": iterations,
+                   "stream": "whole crowd ingested batch by batch"},
+        "before_ms": seed_s * 1e3,
+        "after_ms": stream_s * 1e3,
+        "speedup": seed_s / stream_s,
+        "max_abs_diff": max_diff,
+        # Per-update scaling: the naive side's last update re-runs EM over
+        # the whole stream; the streaming side's stays batch-sized.
+        "before_first_update_ms": seed_updates[0] * 1e3,
+        "before_last_update_ms": seed_updates[-1] * 1e3,
+        "after_first_update_ms": stream_updates[0] * 1e3,
+        "after_last_update_ms": stream_updates[-1] * 1e3,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--smoke", action="store_true",
@@ -480,6 +560,7 @@ def main(argv=None) -> int:
         glad_cfg = dict(instances=200, annotators=47, em_iterations=3)
         pm_catd_cfg = dict(instances=300, annotators=47, classes=9)
         conv_cfg = dict(batch=8, t_max=20, dim=64, width=5, feats=16)
+        streaming_cfg = dict(instances=200, annotators=47, classes=3, batches=5, iterations=8)
     else:
         repeats = args.repeats or 7
         # Paper scale: tagger batch 32, T=50, GRU hidden 50, conv width 512
@@ -492,6 +573,8 @@ def main(argv=None) -> int:
         pm_catd_cfg = dict(instances=2000, annotators=47, classes=9)
         # Tagger embedding scale: width-5 conv over 300-d GloVe vectors.
         conv_cfg = dict(batch=32, t_max=50, dim=300, width=5, feats=100)
+        # A day of label traffic arriving in 10 drops at sentiment scale.
+        streaming_cfg = dict(instances=1500, annotators=47, classes=5, batches=10, iterations=30)
 
     started = time.time()
     results = {
@@ -505,6 +588,7 @@ def main(argv=None) -> int:
         "glad": bench_glad(repeats=max(repeats // 2, 1), rng=rng, **glad_cfg),
         "pm_catd": bench_pm_catd(repeats=max(repeats // 2, 1), rng=rng, **pm_catd_cfg),
         "conv1d": bench_conv1d(repeats=repeats, rng=rng, **conv_cfg),
+        "streaming": bench_streaming(repeats=max(repeats // 2, 1), rng=rng, **streaming_cfg),
     }
     results["wall_seconds"] = round(time.time() - started, 2)
 
@@ -517,10 +601,15 @@ def main(argv=None) -> int:
         ("GLAD EM    ", "glad"),
         ("PM + CATD  ", "pm_catd"),
         ("conv1d step", "conv1d"),
+        ("streaming  ", "streaming"),
     ):
         entry = results[section]
         print(f"{label} : {entry['before_ms']:8.2f} ms → {entry['after_ms']:8.2f} ms "
               f"({entry['speedup']:.2f}x, diff {entry['max_abs_diff']:.1e})")
+    entry = results["streaming"]
+    print("  streaming per-update (first → last): "
+          f"naive {entry['before_first_update_ms']:.2f} → {entry['before_last_update_ms']:.2f} ms, "
+          f"stream {entry['after_first_update_ms']:.2f} → {entry['after_last_update_ms']:.2f} ms")
     print(f"wrote {args.output}")
     if args.tag:
         if args.smoke:

@@ -24,6 +24,10 @@ GRU training path uses:
 * ``seed_conv1d_train_step`` — the pre-PR-3 im2col convolution: forward
   and backward both materialize the ``(B, T_out, width·D)`` window buffer
   (PR 3's width-loop variant accumulates shifted matmuls instead).
+* ``seed_streaming_full_recompute`` — the naive label-stream loop: per
+  arriving batch, re-run the dense DS EM from scratch on everything seen
+  so far (PR 4's streaming subsystem replaces this with O(batch)
+  stepwise updates over decayed sufficient statistics).
 
 Do not "fix" or optimize anything here: it is a measurement baseline, not
 production code.
@@ -555,3 +559,29 @@ def seed_conv1d_train_step(
     if pad == "same":
         xgrad = xgrad[:, left : left + time, :]
     return out, xgrad, wgrad, bgrad
+
+
+def seed_streaming_full_recompute(
+    label_blocks: list[np.ndarray],
+    num_classes: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    smoothing: float = 0.01,
+):
+    """The seed-era answer to a label stream: per arriving block, stack
+    everything seen so far and re-run the dense DS EM from scratch.
+
+    A generator so the benchmark can time each update (``next()``) on its
+    own — per-update cost grows with *total* observations, which is exactly
+    what the streaming subsystem replaces. Yields the full
+    ``(posterior, confusions, iterations)`` triple after every block.
+    """
+    for upto in range(1, len(label_blocks) + 1):
+        stacked = np.concatenate(label_blocks[:upto], axis=0)
+        yield seed_dawid_skene(
+            stacked,
+            num_classes,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            smoothing=smoothing,
+        )

@@ -63,6 +63,21 @@ class TrainerConfig:
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
         if self.patience < 1:
             raise ValueError("patience must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {self.learning_rate}")
+        # None disables a feature; zero is a silent misconfiguration (a 0.0
+        # clip threshold or a 0-epoch decay period used to be treated as
+        # "off" by truthiness guards downstream).
+        if self.lr_decay_every is not None and self.lr_decay_every < 1:
+            raise ValueError(
+                f"lr_decay_every must be >= 1 or None to disable, got {self.lr_decay_every}"
+            )
+        if not 0.0 < self.lr_decay_factor <= 1.0:
+            raise ValueError(f"lr_decay_factor must be in (0, 1], got {self.lr_decay_factor}")
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ValueError(
+                f"grad_clip must be positive or None to disable, got {self.grad_clip}"
+            )
 
 
 def build_optimizer(parameters, config: TrainerConfig) -> tuple[Optimizer, StepDecay | None]:
@@ -74,7 +89,7 @@ def build_optimizer(parameters, config: TrainerConfig) -> tuple[Optimizer, StepD
     else:
         optimizer = SGD(parameters, lr=config.learning_rate)
     schedule = None
-    if config.lr_decay_every:
+    if config.lr_decay_every is not None:
         schedule = StepDecay(optimizer, every=config.lr_decay_every, factor=config.lr_decay_factor)
     return optimizer, schedule
 
@@ -128,7 +143,7 @@ def run_classification_epoch(
         batch_weights = weights[batch] if weights is not None else None
         loss = F.cross_entropy_soft(logits, targets[batch], weights=batch_weights)
         loss.backward()
-        if config.grad_clip:
+        if config.grad_clip is not None:
             clip_grad_norm(optimizer.parameters, config.grad_clip)
         optimizer.step()
         if hasattr(model, "apply_max_norm"):
@@ -167,7 +182,7 @@ def run_sequence_epoch(
             logits, targets[batch], mask, weights=batch_weights
         )
         loss.backward()
-        if config.grad_clip:
+        if config.grad_clip is not None:
             clip_grad_norm(optimizer.parameters, config.grad_clip)
         optimizer.step()
         total_loss += loss.item()
@@ -182,8 +197,12 @@ def predict_proba_batched(
 
     Runs under :class:`no_grad` end to end (belt and braces on top of the
     model's own guard), so evaluation sweeps build zero tape nodes even if
-    a model subclass forgets its own guard.
+    a model subclass forgets its own guard. An empty dataset yields an
+    empty ``(0, K)`` result — the same I = 0 tolerance the inference
+    methods have — instead of tripping ``batch_indices``'s size check.
     """
+    if len(lengths) == 0:
+        return np.zeros((0, model.num_classes))
     with no_grad():
         pieces = [
             model.predict_proba(tokens[batch], lengths[batch])
@@ -199,8 +218,11 @@ def predict_sequence_proba_batched(
 
     Guarded by :class:`no_grad` like :func:`predict_proba_batched`; this is
     the pseudo-E-step's prediction sweep, so a stray tape here would cost
-    memory every EM round.
+    memory every EM round. An empty dataset yields ``(0, T, K)`` rather
+    than a ``batch_indices`` error.
     """
+    if len(lengths) == 0:
+        return np.zeros((0, tokens.shape[1], model.num_classes))
     with no_grad():
         pieces = [
             model.predict_proba(tokens[batch], lengths[batch])

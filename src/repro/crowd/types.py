@@ -25,6 +25,20 @@ __all__ = ["MISSING", "CrowdLabelMatrix", "SequenceCrowdLabels"]
 MISSING = -1
 
 
+def _validate_label_block(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Validate one ``(n, J)`` block of labels; returns it as int64."""
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValueError(f"labels must be (I, J), got shape {labels.shape}")
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise TypeError(f"labels must be integers, got {labels.dtype}")
+    valid = (labels == MISSING) | ((labels >= 0) & (labels < num_classes))
+    if not valid.all():
+        bad = labels[~valid]
+        raise ValueError(f"labels out of range [0, {num_classes}): {np.unique(bad)}")
+    return labels.astype(np.int64)
+
+
 class CrowdLabelMatrix:
     """Dense instance × annotator label matrix with a missing sentinel.
 
@@ -44,21 +58,17 @@ class CrowdLabelMatrix:
     Vote counts, one-hot expansion, and the confusion-count/E-step kernels
     in :mod:`repro.inference.primitives` all run off these views as single
     bincounts/matmuls instead of ``(I, J, K)`` dense scans.
+
+    The one sanctioned mutation is :meth:`extend` — the streaming append
+    path — which adds whole instances and updates every populated cache
+    incrementally (O(new observations) of cache *computation*; already-built
+    views are carried over, never recomputed from scratch).
     """
 
     def __init__(self, labels: np.ndarray, num_classes: int) -> None:
-        labels = np.asarray(labels)
-        if labels.ndim != 2:
-            raise ValueError(f"labels must be (I, J), got shape {labels.shape}")
-        if not np.issubdtype(labels.dtype, np.integer):
-            raise TypeError(f"labels must be integers, got {labels.dtype}")
         if num_classes < 2:
             raise ValueError(f"need at least 2 classes, got {num_classes}")
-        valid = (labels == MISSING) | ((labels >= 0) & (labels < num_classes))
-        if not valid.all():
-            bad = labels[~valid]
-            raise ValueError(f"labels out of range [0, {num_classes}): {np.unique(bad)}")
-        self.labels = labels.astype(np.int64)
+        self.labels = _validate_label_block(labels, num_classes)
         self.num_classes = int(num_classes)
 
     # ------------------------------------------------------------------ #
@@ -133,11 +143,16 @@ class CrowdLabelMatrix:
         return cached[0]
 
     def vote_counts(self) -> np.ndarray:
-        """Per-instance class vote counts, shape ``(I, K)``."""
-        rows, _, given = self.flat_label_pairs()
-        key = rows * self.num_classes + given
-        counts = np.bincount(key, minlength=self.num_instances * self.num_classes)
-        return counts.reshape(self.num_instances, self.num_classes)
+        """Per-instance class vote counts, shape ``(I, K)`` (cached view —
+        treat as read-only, like the other cached views)."""
+        cached = getattr(self, "_vote_counts_cache", None)
+        if cached is None:
+            rows, _, given = self.flat_label_pairs()
+            key = rows * self.num_classes + given
+            counts = np.bincount(key, minlength=self.num_instances * self.num_classes)
+            cached = counts.reshape(self.num_instances, self.num_classes)
+            self._vote_counts_cache = cached
+        return cached
 
     def one_hot(self) -> np.ndarray:
         """``(I, J, K)`` one-hot labels (zero rows where missing)."""
@@ -149,6 +164,61 @@ class CrowdLabelMatrix:
     def subset(self, indices: np.ndarray) -> "CrowdLabelMatrix":
         """Restrict to a subset of instances (annotator axis unchanged)."""
         return CrowdLabelMatrix(self.labels[np.asarray(indices)], self.num_classes)
+
+    def extend(self, new_labels: np.ndarray) -> "CrowdLabelMatrix":
+        """Append whole instances in place — the streaming ingest path.
+
+        ``new_labels`` is ``(n_new, J)`` with the same annotator axis and
+        label convention as the constructor. Every *populated* cache is
+        updated incrementally rather than invalidated: the observed mask,
+        vote counts, and COO triples of the new block are computed in
+        O(new observations) and appended to the existing views, and the
+        sparse incidence gains the new block's rows via a sparse vstack.
+        Unbuilt caches stay unbuilt (they build lazily over the full
+        matrix on first use). Returns ``self`` for chaining.
+        """
+        block = _validate_label_block(new_labels, self.num_classes)
+        if block.shape[1] != self.num_annotators:
+            raise ValueError(
+                f"new labels must keep the annotator axis "
+                f"({self.num_annotators}), got {block.shape[1]}"
+            )
+        old_instances = self.num_instances
+        mask_cache = getattr(self, "_observed_mask_cache", None)
+        pairs_cache = getattr(self, "_flat_pairs_cache", None)
+        incidence_cache = getattr(self, "_incidence_cache", None)
+        votes_cache = getattr(self, "_vote_counts_cache", None)
+        self.labels = np.concatenate([self.labels, block], axis=0)
+
+        block_mask = block != MISSING
+        if mask_cache is not None:
+            self._observed_mask_cache = np.concatenate([mask_cache, block_mask], axis=0)
+        rows, cols = np.nonzero(block_mask)
+        given = block[rows, cols]
+        if pairs_cache is not None:
+            self._flat_pairs_cache = (
+                np.concatenate([pairs_cache[0], rows + old_instances]),
+                np.concatenate([pairs_cache[1], cols]),
+                np.concatenate([pairs_cache[2], given]),
+            )
+        if votes_cache is not None:
+            key = rows * self.num_classes + given
+            counts = np.bincount(key, minlength=block.shape[0] * self.num_classes)
+            self._vote_counts_cache = np.concatenate(
+                [votes_cache, counts.reshape(block.shape[0], self.num_classes)], axis=0
+            )
+        if incidence_cache is not None and incidence_cache[0] is not None:
+            from scipy.sparse import csr_matrix, vstack
+
+            group = cols * self.num_classes + given
+            block_incidence = csr_matrix(
+                (np.ones(rows.size), (rows, group)),
+                shape=(block.shape[0], self.num_annotators * self.num_classes),
+            )
+            self._incidence_cache = (
+                vstack([incidence_cache[0], block_incidence], format="csr"),
+            )
+        return self
 
     def annotator_confusion(self, truth: np.ndarray, annotator: int) -> np.ndarray:
         """Empirical row-normalized confusion matrix of one annotator.
@@ -208,23 +278,26 @@ class SequenceCrowdLabels:
         if self.num_classes < 2:
             raise ValueError(f"need at least 2 classes, got {self.num_classes}")
         for i, matrix in enumerate(self.labels):
-            matrix = np.asarray(matrix)
-            if matrix.ndim != 2 or matrix.shape[1] != self.num_annotators:
-                raise ValueError(
-                    f"instance {i}: expected (T_i, {self.num_annotators}), got {matrix.shape}"
-                )
-            valid = (matrix == MISSING) | ((matrix >= 0) & (matrix < self.num_classes))
-            if not valid.all():
-                raise ValueError(f"instance {i}: labels out of range")
-            # Columns must be fully labeled or fully missing.
-            col_missing = (matrix == MISSING).sum(axis=0)
-            partial = (col_missing > 0) & (col_missing < matrix.shape[0])
-            if partial.any():
-                raise ValueError(
-                    f"instance {i}: annotators {np.nonzero(partial)[0]} labeled "
-                    "only part of the sentence"
-                )
-            self.labels[i] = matrix.astype(np.int64)
+            self.labels[i] = self._validate_sentence(matrix, i)
+
+    def _validate_sentence(self, matrix: np.ndarray, index: int) -> np.ndarray:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != self.num_annotators:
+            raise ValueError(
+                f"instance {index}: expected (T_i, {self.num_annotators}), got {matrix.shape}"
+            )
+        valid = (matrix == MISSING) | ((matrix >= 0) & (matrix < self.num_classes))
+        if not valid.all():
+            raise ValueError(f"instance {index}: labels out of range")
+        # Columns must be fully labeled or fully missing.
+        col_missing = (matrix == MISSING).sum(axis=0)
+        partial = (col_missing > 0) & (col_missing < matrix.shape[0])
+        if partial.any():
+            raise ValueError(
+                f"instance {index}: annotators {np.nonzero(partial)[0]} labeled "
+                "only part of the sentence"
+            )
+        return matrix.astype(np.int64)
 
     @property
     def num_instances(self) -> int:
@@ -235,7 +308,10 @@ class SequenceCrowdLabels:
 
         Sentence ``i`` occupies rows ``offsets[i]:offsets[i+1]``. The result
         is cached — the label matrices are treated as immutable (every
-        mutating operation, e.g. :meth:`subset`, builds a new container).
+        mutating operation, e.g. :meth:`subset`, builds a new container),
+        with one sanctioned exception: :meth:`append_labels`, the streaming
+        ingest path, which *replaces* the cached views with incrementally
+        grown ones. Don't hold a returned view across an append.
         This flat view is what the vectorized EM updates in
         :mod:`repro.core.em` and the token-level inference adapters operate
         on instead of per-sentence Python loops.
@@ -350,6 +426,71 @@ class SequenceCrowdLabels:
         """Restrict to a subset of sentences."""
         picked = [self.labels[int(i)] for i in np.asarray(indices)]
         return SequenceCrowdLabels(picked, self.num_classes, self.num_annotators)
+
+    def append_labels(self, new_labels: list[np.ndarray]) -> "SequenceCrowdLabels":
+        """Append whole sentences in place — the streaming ingest path.
+
+        The sequence twin of :meth:`CrowdLabelMatrix.extend`: each matrix in
+        ``new_labels`` is a ``(T_i, J)`` sentence under the constructor's
+        convention. Populated caches (flat stack + offsets, COO triples,
+        token incidence, annotator mask) are updated incrementally in
+        O(new observations) of cache computation; unbuilt caches stay
+        unbuilt. Returns ``self`` for chaining.
+        """
+        start = self.num_instances
+        validated = [
+            self._validate_sentence(matrix, start + i) for i, matrix in enumerate(new_labels)
+        ]
+        flat_cache = getattr(self, "_flat_cache", None)
+        pairs_cache = getattr(self, "_flat_pairs_cache", None)
+        incidence_cache = getattr(self, "_incidence_cache", None)
+        mask_cache = getattr(self, "_annotator_mask_cache", None)
+        self.labels.extend(validated)
+        if not validated:
+            return self
+
+        block = np.concatenate(validated, axis=0)
+        if flat_cache is not None:
+            old_stacked, old_offsets = flat_cache
+            sizes = np.fromiter(
+                (matrix.shape[0] for matrix in validated), dtype=np.int64, count=len(validated)
+            )
+            new_offsets = old_offsets[-1] + np.cumsum(sizes)
+            self._flat_cache = (
+                np.concatenate([old_stacked, block], axis=0),
+                np.concatenate([old_offsets, new_offsets]),
+            )
+        tokens, annotators = np.nonzero(block != MISSING)
+        given = block[tokens, annotators]
+        old_tokens = (
+            int(flat_cache[1][-1])
+            if flat_cache is not None
+            else sum(matrix.shape[0] for matrix in self.labels[:start])
+        )
+        if pairs_cache is not None:
+            self._flat_pairs_cache = (
+                np.concatenate([pairs_cache[0], tokens + old_tokens]),
+                np.concatenate([pairs_cache[1], annotators]),
+                np.concatenate([pairs_cache[2], given]),
+            )
+        if incidence_cache is not None and incidence_cache[0] is not None:
+            from scipy.sparse import csr_matrix, vstack
+
+            group = annotators * self.num_classes + given
+            block_incidence = csr_matrix(
+                (np.ones(tokens.size), (tokens, group)),
+                shape=(block.shape[0], self.num_annotators * self.num_classes),
+            )
+            self._incidence_cache = (
+                vstack([incidence_cache[0], block_incidence], format="csr"),
+            )
+        if mask_cache is not None:
+            new_mask = np.zeros((len(validated), self.num_annotators), dtype=bool)
+            for i, matrix in enumerate(validated):
+                if matrix.shape[0]:
+                    new_mask[i] = (matrix != MISSING).any(axis=0)
+            self._annotator_mask_cache = np.concatenate([mask_cache, new_mask], axis=0)
+        return self
 
     def annotator_confusion(self, truth: list[np.ndarray], annotator: int) -> np.ndarray:
         """Token-level confusion matrix of one annotator vs ground truth."""

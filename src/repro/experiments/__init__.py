@@ -7,6 +7,8 @@ One module per artifact family (see DESIGN.md §3 experiment index):
 * :mod:`ablation_suite` — Table IV;
 * :mod:`reliability_suite` — Fig. 6 / Fig. 7;
 * :mod:`sample_efficiency` — the §VI-B sample-efficiency experiment;
+* :mod:`streaming_suite` — label-stream scenarios (arrival order,
+  annotator drift, burst arrivals) for the online inference subsystem;
 * :mod:`reporting` — table rendering with paper-vs-measured columns.
 
 The ``benchmarks/`` directory contains the pytest-benchmark entry points
@@ -46,6 +48,17 @@ from .sentiment_suite import (
     run_sentiment_method,
 )
 from .sentiment_suite import run_sentiment_inference_method, sentiment_inference_table
+from .streaming_suite import (
+    StreamRunResult,
+    StreamScenarioConfig,
+    StreamUpdateRecord,
+    run_annotator_drift_scenario,
+    run_arrival_order_scenario,
+    run_burst_arrival_scenario,
+    run_label_stream,
+    run_streaming_suite,
+    stream_crowd_in_batches,
+)
 
 __all__ = [
     "Row",
@@ -79,4 +92,13 @@ __all__ = [
     "SampleEfficiencyResult",
     "run_sentiment_sample_efficiency",
     "run_ner_sample_efficiency",
+    "StreamScenarioConfig",
+    "StreamUpdateRecord",
+    "StreamRunResult",
+    "stream_crowd_in_batches",
+    "run_label_stream",
+    "run_arrival_order_scenario",
+    "run_annotator_drift_scenario",
+    "run_burst_arrival_scenario",
+    "run_streaming_suite",
 ]

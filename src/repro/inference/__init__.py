@@ -22,6 +22,12 @@ Architecture — three layers over one sparse-crowd core:
    atol 1e-10 and timed as the "before" side in
    ``benchmarks/bench_hotpaths.py``.
 
+   On top of the batch methods, :mod:`~repro.inference.streaming` runs
+   the same kernels *online*: label batches are ingested incrementally
+   (``partial_fit``) with per-update cost O(new observations), under a
+   replay-equivalence contract that pins the no-decay stream to the batch
+   methods at convergence.
+
 3. **Registry** (:mod:`~repro.inference.registry`): the single name →
    factory table the experiment suites and examples resolve through. To
    add a method: implement ``infer`` (subclass
@@ -57,6 +63,12 @@ from .primitives import (
 )
 from .registry import available_methods, build_method_table, get_method, register
 from .sequence_utils import TokenLevelInference, flatten_sequence_crowd
+from .streaming import (
+    StreamingDawidSkene,
+    StreamingGLAD,
+    StreamingMajorityVote,
+    StreamingTruthInference,
+)
 
 __all__ = [
     "InferenceResult",
@@ -94,4 +106,8 @@ __all__ = [
     "build_method_table",
     "TokenLevelInference",
     "flatten_sequence_crowd",
+    "StreamingTruthInference",
+    "StreamingMajorityVote",
+    "StreamingDawidSkene",
+    "StreamingGLAD",
 ]

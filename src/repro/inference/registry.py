@@ -15,7 +15,12 @@ Methods are registered under a *kind*:
   SequenceCrowdLabels`, returns a ``SequenceInferenceResult``. The
   token-independent methods (MV/DS/IBCC) are registered here wrapped in
   :class:`~repro.inference.sequence_utils.TokenLevelInference`, exactly as
-  the paper applies them to NER.
+  the paper applies them to NER;
+* ``"streaming"`` — online estimators from :mod:`~repro.inference.\
+  streaming`: batches of new instances are ingested via ``partial_fit``
+  instead of a one-shot ``infer``, under the replay-equivalence contract
+  documented there (no decay + ``fit_to_convergence`` reproduces the
+  kind-``"classification"`` method of the same name).
 
 Factories receive the caller's keyword overrides (e.g.
 ``get_method("HMM-Crowd", kind="sequence", max_iterations=15)``), so
@@ -36,10 +41,11 @@ from .ibcc import IBCC
 from .majority_vote import MajorityVote
 from .pm import PM
 from .sequence_utils import TokenLevelInference
+from .streaming import StreamingDawidSkene, StreamingGLAD, StreamingMajorityVote
 
 __all__ = ["MethodSpec", "register", "get_method", "available_methods", "build_method_table"]
 
-KINDS = ("classification", "sequence")
+KINDS = ("classification", "sequence", "streaming")
 
 
 @dataclass(frozen=True)
@@ -137,3 +143,7 @@ register("DS", "sequence", _token_level(DawidSkene), "token-level Dawid–Skene"
 register("IBCC", "sequence", _token_level(IBCC), "token-level IBCC")
 register("BSC-seq", "sequence", BSCSeq, "Bayesian sequence combination (seq)")
 register("HMM-Crowd", "sequence", HMMCrowd, "HMM with crowd emissions")
+
+register("MV", "streaming", StreamingMajorityVote, "online majority voting")
+register("DS", "streaming", StreamingDawidSkene, "stepwise-EM Dawid–Skene")
+register("GLAD", "streaming", StreamingGLAD, "online GLAD (binary, SGD abilities)")

@@ -1,0 +1,104 @@
+"""Trainer-config validation and empty-dataset regression tests.
+
+Two confirmed trainer-layer bugs pinned here:
+
+* ``TrainerConfig`` used to accept ``grad_clip=0.0`` (which the truthiness
+  guard ``if config.grad_clip:`` then silently treated as "no clipping"),
+  negative learning rates, and ``lr_decay_every=0`` (silently disabling
+  the schedule). Zero is now rejected up front; ``None`` is the one way
+  to disable a feature, and the runtime guards check ``is not None``.
+* ``predict_proba_batched`` / ``predict_sequence_proba_batched`` raised
+  ``ValueError`` from ``batch_indices`` on empty datasets; they now
+  return ``(0, K)`` / ``(0, T, K)`` — matching the I = 0 tolerance all
+  inference methods gained in PR 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    TrainerConfig,
+    build_optimizer,
+    predict_proba_batched,
+    predict_sequence_proba_batched,
+)
+from repro.models.mlp import MLPClassifier
+from repro.models.ner_crnn import NERTagger, NERTaggerConfig
+
+
+class TestTrainerConfigValidation:
+    def test_defaults_are_valid(self):
+        TrainerConfig()
+
+    @pytest.mark.parametrize("grad_clip", [0.0, -1.0])
+    def test_nonpositive_grad_clip_rejected(self, grad_clip):
+        with pytest.raises(ValueError, match="grad_clip"):
+            TrainerConfig(grad_clip=grad_clip)
+
+    def test_none_grad_clip_disables_clipping(self):
+        assert TrainerConfig(grad_clip=None).grad_clip is None
+
+    @pytest.mark.parametrize("learning_rate", [0.0, -0.5])
+    def test_nonpositive_learning_rate_rejected(self, learning_rate):
+        with pytest.raises(ValueError, match="learning rate"):
+            TrainerConfig(learning_rate=learning_rate)
+
+    @pytest.mark.parametrize("lr_decay_every", [0, -3])
+    def test_nonpositive_decay_period_rejected(self, lr_decay_every):
+        with pytest.raises(ValueError, match="lr_decay_every"):
+            TrainerConfig(lr_decay_every=lr_decay_every)
+
+    @pytest.mark.parametrize("lr_decay_factor", [0.0, -0.5, 1.5])
+    def test_bad_decay_factor_rejected(self, lr_decay_factor):
+        with pytest.raises(ValueError, match="lr_decay_factor"):
+            TrainerConfig(lr_decay_factor=lr_decay_factor)
+
+    def test_none_decay_period_disables_schedule(self):
+        config = TrainerConfig(lr_decay_every=None)
+        _, schedule = build_optimizer(_classifier().parameters(), config)
+        assert schedule is None
+
+    def test_decay_period_of_one_builds_a_schedule(self):
+        # Regression for the truthiness guard: a valid small period must
+        # not be confused with "disabled".
+        _, schedule = build_optimizer(
+            _classifier().parameters(), TrainerConfig(lr_decay_every=1)
+        )
+        assert schedule is not None
+
+
+def _classifier():
+    rng = np.random.default_rng(0)
+    return MLPClassifier(rng.normal(size=(30, 8)), num_classes=3, hidden=16, rng=rng)
+
+
+def _tagger():
+    rng = np.random.default_rng(1)
+    config = NERTaggerConfig(num_classes=5, conv_features=12, gru_hidden=6)
+    return NERTagger(rng.normal(size=(30, 8)), config, rng)
+
+
+class TestEmptyDatasetPrediction:
+    def test_classifier_empty_dataset_returns_empty_proba(self):
+        proba = predict_proba_batched(
+            _classifier(),
+            np.zeros((0, 7), dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+        assert proba.shape == (0, 3)
+
+    def test_tagger_empty_dataset_returns_empty_proba(self):
+        proba = predict_sequence_proba_batched(
+            _tagger(),
+            np.zeros((0, 9), dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+        assert proba.shape == (0, 9, 5)
+
+    def test_nonempty_path_unchanged(self):
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(0, 30, size=(5, 7))
+        lengths = rng.integers(1, 8, size=5)
+        proba = predict_proba_batched(_classifier(), tokens, lengths, batch_size=2)
+        assert proba.shape == (5, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)

@@ -126,3 +126,130 @@ class TestSequenceCrowdLabels:
         np.testing.assert_allclose(confusion1[0], [1, 0, 0])
         np.testing.assert_allclose(confusion1[1], [0, 0, 1])
         np.testing.assert_allclose(confusion1[2], [0, 0, 1])
+
+
+def _assert_classification_caches_match(extended: CrowdLabelMatrix, fresh: CrowdLabelMatrix):
+    """Every cached view of an incrementally-extended container must equal a
+    from-scratch rebuild — the correctness contract of the streaming append
+    path (cache coherence, not just label equality)."""
+    np.testing.assert_array_equal(extended.labels, fresh.labels)
+    np.testing.assert_array_equal(extended.observed_mask, fresh.observed_mask)
+    np.testing.assert_array_equal(extended.vote_counts(), fresh.vote_counts())
+    for got, want in zip(extended.flat_label_pairs(), fresh.flat_label_pairs()):
+        np.testing.assert_array_equal(got, want)
+    got_inc, want_inc = extended.label_incidence(), fresh.label_incidence()
+    if want_inc is not None:
+        assert (got_inc != want_inc).nnz == 0
+
+
+class TestCrowdLabelMatrixExtend:
+    def _blocks(self):
+        rng = np.random.default_rng(7)
+        blocks = []
+        for size in (5, 3, 0, 8):
+            block = rng.integers(-1, 3, size=(size, 4))
+            blocks.append(block.astype(np.int64))
+        # Guarantee at least one fully-missing row survives validation checks.
+        blocks[0][1] = M
+        return blocks
+
+    def test_extend_matches_fresh_container_with_warm_caches(self):
+        blocks = self._blocks()
+        crowd = CrowdLabelMatrix(blocks[0], num_classes=3)
+        # Warm every cache before the first append.
+        crowd.observed_mask, crowd.flat_label_pairs()
+        crowd.label_incidence(), crowd.vote_counts()
+        for block in blocks[1:]:
+            crowd.extend(block)
+        fresh = CrowdLabelMatrix(np.concatenate(blocks, axis=0), num_classes=3)
+        _assert_classification_caches_match(crowd, fresh)
+
+    def test_extend_with_cold_caches_builds_lazily(self):
+        blocks = self._blocks()
+        crowd = CrowdLabelMatrix(blocks[0], num_classes=3)
+        for block in blocks[1:]:
+            crowd.extend(block)  # nothing cached yet — no incremental work
+        fresh = CrowdLabelMatrix(np.concatenate(blocks, axis=0), num_classes=3)
+        _assert_classification_caches_match(crowd, fresh)
+
+    def test_extend_returns_self_and_grows(self):
+        crowd = CrowdLabelMatrix(np.array([[0, 1]]), 2)
+        assert crowd.extend(np.array([[1, M]])) is crowd
+        assert crowd.num_instances == 2
+        assert crowd.total_annotations() == 3
+
+    def test_extend_from_empty(self):
+        crowd = CrowdLabelMatrix(np.zeros((0, 3), dtype=np.int64), 2)
+        crowd.vote_counts()
+        crowd.extend(np.array([[0, 1, M]]))
+        np.testing.assert_array_equal(crowd.vote_counts(), [[1, 1]])
+
+    def test_extend_validates_block(self):
+        crowd = CrowdLabelMatrix(np.array([[0, 1]]), 2)
+        with pytest.raises(ValueError):
+            crowd.extend(np.array([[5, 0]]))  # out of range
+        with pytest.raises(ValueError):
+            crowd.extend(np.array([[0, 1, 0]]))  # annotator axis changed
+        with pytest.raises(TypeError):
+            crowd.extend(np.array([[0.5, 0.5]]))
+        assert crowd.num_instances == 1  # failed appends leave it untouched
+
+
+class TestSequenceCrowdLabelsAppend:
+    def _sentences(self, seed, count, annotators=3, classes=3):
+        rng = np.random.default_rng(seed)
+        sentences = []
+        for index in range(count):
+            t = int(rng.integers(0 if index % 3 == 1 else 1, 5))
+            matrix = np.full((t, annotators), M, dtype=np.int64)
+            for j in range(annotators):
+                if rng.random() < 0.7:
+                    matrix[:, j] = rng.integers(0, classes, size=t)
+            sentences.append(matrix)
+        return sentences
+
+    def _assert_matches_fresh(self, extended, fresh):
+        assert extended.num_instances == fresh.num_instances
+        for got, want in zip(extended.labels, fresh.labels):
+            np.testing.assert_array_equal(got, want)
+        got_stack, got_offsets = extended.flat_labels()
+        want_stack, want_offsets = fresh.flat_labels()
+        np.testing.assert_array_equal(got_stack, want_stack)
+        np.testing.assert_array_equal(got_offsets, want_offsets)
+        for got, want in zip(extended.flat_label_pairs(), fresh.flat_label_pairs()):
+            np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(extended.annotator_mask(), fresh.annotator_mask())
+        np.testing.assert_array_equal(
+            extended.token_vote_counts_flat(), fresh.token_vote_counts_flat()
+        )
+        got_inc, want_inc = extended.token_label_incidence(), fresh.token_label_incidence()
+        if want_inc is not None:
+            assert (got_inc != want_inc).nnz == 0
+
+    def test_append_matches_fresh_container_with_warm_caches(self):
+        first = self._sentences(11, 4)
+        second = self._sentences(13, 3)
+        third = self._sentences(17, 2)
+        crowd = SequenceCrowdLabels(list(first), 3, 3)
+        crowd.flat_labels(), crowd.flat_label_pairs()
+        crowd.token_label_incidence(), crowd.annotator_mask()
+        crowd.append_labels(second)
+        crowd.append_labels([])      # empty batch is a no-op
+        crowd.append_labels(third)
+        fresh = SequenceCrowdLabels(first + second + third, 3, 3)
+        self._assert_matches_fresh(crowd, fresh)
+
+    def test_append_with_cold_caches_builds_lazily(self):
+        first = self._sentences(19, 3)
+        second = self._sentences(23, 4)
+        crowd = SequenceCrowdLabels(list(first), 3, 3)
+        crowd.append_labels(second)
+        fresh = SequenceCrowdLabels(first + second, 3, 3)
+        self._assert_matches_fresh(crowd, fresh)
+
+    def test_append_validates_sentences(self):
+        crowd = SequenceCrowdLabels([np.array([[0, 1]])], 2, 2)
+        with pytest.raises(ValueError):
+            crowd.append_labels([np.array([[0, M], [M, M]])])  # partial column
+        with pytest.raises(ValueError):
+            crowd.append_labels([np.array([[9, 0]])])  # out of range

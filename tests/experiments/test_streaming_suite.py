@@ -1,0 +1,73 @@
+"""Label-stream scenario suite: structure, determinism, and the seeded
+behavioural claims each scenario exists to demonstrate."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    StreamScenarioConfig,
+    run_annotator_drift_scenario,
+    run_arrival_order_scenario,
+    run_burst_arrival_scenario,
+    run_label_stream,
+    run_streaming_suite,
+    stream_crowd_in_batches,
+)
+from repro.crowd.types import CrowdLabelMatrix
+
+SMALL = StreamScenarioConfig(
+    instances=120, annotators=12, batch_size=30, mean_labels_per_instance=4.0
+)
+
+
+def test_stream_crowd_in_batches_must_cover_exactly():
+    crowd = CrowdLabelMatrix(np.zeros((4, 2), dtype=np.int64), 2)
+    with pytest.raises(ValueError):
+        stream_crowd_in_batches(crowd, [3])
+    batches = stream_crowd_in_batches(crowd, [1, 0, 3])
+    assert [b.num_instances for b in batches] == [1, 0, 3]
+
+
+def test_arrival_order_scenario_convergence_is_order_invariant():
+    result = run_arrival_order_scenario(seed=0, config=SMALL)
+    for name, entry in result["methods"].items():
+        # The replay contract at suite scale: converged posteriors agree
+        # across arrival orders and batchings.
+        assert entry["converged_divergence"] < 1e-8, name
+        assert entry["forward"].converged_accuracy is not None
+        assert len(entry["forward"].trace) == 4  # 120 / 30
+
+
+def test_annotator_drift_scenario_decay_tracks_the_regime_change():
+    config = StreamScenarioConfig(
+        instances=240, annotators=10, batch_size=20,
+        mean_labels_per_instance=5.0, drifting_annotators=2, drifted_accuracy=0.25,
+    )
+    result = run_annotator_drift_scenario(seed=3, config=config)
+    reliability = result["drifted_reliability"]
+    # The decayed model rates the drifted annotators markedly less
+    # reliable than the model that still credits their early, good phase.
+    assert reliability["decayed"] < reliability["undecayed"] - 0.1
+    assert result["runs"]["decayed"].decay == config.decay
+    assert result["runs"]["undecayed"].decay is None
+
+
+def test_burst_arrival_scenario_is_robust_and_covers_awkward_sizes():
+    result = run_burst_arrival_scenario(seed=7, config=SMALL)
+    sizes = result["batch_sizes"]
+    assert sum(sizes) == SMALL.instances
+    assert 0 in sizes and 1 in sizes  # quiet ticks and dribbles occurred
+    for name, run in result["methods"].items():
+        assert run.final_online_accuracy > 0.5, name  # better than coin flip
+        assert run.converged_accuracy is not None
+        assert run.trace[-1].observations_seen > 0
+    assert set(result["methods"]) == {"MV", "DS", "GLAD"}
+
+
+def test_suite_runs_end_to_end_and_is_deterministic():
+    first = run_streaming_suite(seed=7, config=SMALL)
+    second = run_streaming_suite(seed=7, config=SMALL)
+    assert set(first) == {"arrival_order", "annotator_drift", "burst_arrivals"}
+    a = first["burst_arrivals"]["methods"]["DS"].final_online_accuracy
+    b = second["burst_arrivals"]["methods"]["DS"].final_online_accuracy
+    assert a == b

@@ -25,6 +25,15 @@ To vectorize another method in a future PR:
    ``available_methods()`` × :func:`crowd_cases`, so the new method is
    pinned on every case without hand-rolling fixtures. A meta-test fails
    if a registered method has no reference entry.
+
+Streaming methods (kind ``"streaming"``) follow the same discipline with
+a different contract: their ``REFERENCE_IMPLEMENTATIONS`` entry is the
+*batch twin at convergence*, and :func:`assert_streaming_replay_matches`
+pins the replay-equivalence contract of :mod:`repro.inference.streaming`
+— feeding a crowd through ``partial_fit`` in seeded random batches with
+decay disabled, then ``fit_to_convergence()``, must reproduce the batch
+posterior at atol 1e-8. The meta-test covers this kind too, so a future
+streaming variant cannot register without shipping its batch reference.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from typing import Callable
 import numpy as np
 
 from repro.crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
+from repro.experiments.streaming_suite import stream_crowd_in_batches
 from repro.inference import (
     SequenceInferenceResult,
     bsc_seq_reference,
@@ -54,11 +64,13 @@ __all__ = [
     "crowd_cases",
     "random_classification_crowd",
     "random_sequence_crowd",
+    "random_batch_sizes",
     "REFERENCE_IMPLEMENTATIONS",
     "METHOD_OVERRIDES",
     "method_supports",
     "assert_matches_reference",
     "assert_degenerate_ok",
+    "assert_streaming_replay_matches",
 ]
 
 
@@ -225,9 +237,20 @@ def _token_level_reference(classification_reference: Callable) -> Callable:
     return run
 
 
-# (kind, registered name) → pre-refactor executable specification. Every
-# name in available_methods() must appear here; the meta-test in
-# test_equivalence_harness.py enforces it.
+def _batch_at_convergence(name: str) -> Callable:
+    """Reference for a streaming method: its batch twin run to convergence
+    on the whole crowd — what a no-decay replay must reproduce."""
+
+    def run(crowd: CrowdLabelMatrix, **params):
+        return get_method(name, kind="classification", **params).infer(crowd)
+
+    return run
+
+
+# (kind, registered name) → executable specification: the pre-refactor
+# implementation for batch methods, the batch twin at convergence for
+# streaming methods. Every name in available_methods() must appear here;
+# the meta-test in test_equivalence_harness.py enforces it.
 REFERENCE_IMPLEMENTATIONS: dict[tuple[str, str], Callable] = {
     ("classification", "MV"): majority_vote_reference,
     ("classification", "DS"): dawid_skene_reference,
@@ -240,6 +263,9 @@ REFERENCE_IMPLEMENTATIONS: dict[tuple[str, str], Callable] = {
     ("sequence", "IBCC"): _token_level_reference(ibcc_reference),
     ("sequence", "BSC-seq"): bsc_seq_reference,
     ("sequence", "HMM-Crowd"): hmm_crowd_reference,
+    ("streaming", "MV"): _batch_at_convergence("MV"),
+    ("streaming", "DS"): _batch_at_convergence("DS"),
+    ("streaming", "GLAD"): _batch_at_convergence("GLAD"),
 }
 
 # Constructor keywords applied to BOTH sides of a comparison (keeps the
@@ -248,6 +274,7 @@ METHOD_OVERRIDES: dict[tuple[str, str], dict] = {
     ("classification", "GLAD"): {"em_iterations": 15, "gradient_steps": 15},
     ("sequence", "BSC-seq"): {"max_iterations": 10},
     ("sequence", "HMM-Crowd"): {"max_iterations": 10},
+    ("streaming", "GLAD"): {"em_iterations": 15, "gradient_steps": 15},
 }
 
 
@@ -299,6 +326,70 @@ def assert_matches_reference(name: str, kind: str, crowd, atol: float = 1e-10) -
             f"iteration count diverged ({context}): "
             f"{result.extras.get('iterations')} != {expected.extras['iterations']}"
         )
+
+
+def random_batch_sizes(seed: int, total: int) -> list[int]:
+    """Seeded arrival pattern covering the awkward shapes: uneven batches,
+    quiet ticks (empty batches), and single-instance dribbles."""
+    rng = np.random.default_rng(seed)
+    sizes: list[int] = []
+    remaining = total
+    while remaining > 0:
+        if rng.random() < 0.2:
+            sizes.append(0)
+        size = int(rng.integers(1, max(total // 3, 2) + 1))
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    if not sizes:
+        sizes = [0]  # an empty crowd still streams one (empty) batch
+    return sizes
+
+
+def assert_streaming_replay_matches(name: str, crowd, seed: int, atol: float = 1e-8) -> None:
+    """Pin the streaming replay-equivalence contract on one crowd.
+
+    Feeds the crowd through ``partial_fit`` in a seeded random batch
+    pattern (decay disabled), checks every intermediate result is
+    well-formed, then requires ``fit_to_convergence()`` to reproduce the
+    batch twin's posterior (and confusions, when both model them) at
+    ``atol``. Majority vote is additionally pinned *incrementally*: its
+    streaming posterior must equal the batch posterior after the final
+    update with no convergence call at all.
+    """
+    params = METHOD_OVERRIDES.get(("streaming", name), {})
+    stream = get_method(name, kind="streaming", **params)
+    sizes = random_batch_sizes(seed, crowd.num_instances)
+    for batch in stream_crowd_in_batches(crowd, sizes):
+        stream.partial_fit(batch)
+    context = f"method={name} kind=streaming"
+
+    online = stream.result()
+    assert online.posterior.shape == (crowd.num_instances, crowd.num_classes), context
+    assert np.isfinite(online.posterior).all(), context
+    if online.posterior.size:
+        np.testing.assert_allclose(
+            online.posterior.sum(axis=1), 1.0, atol=1e-8,
+            err_msg=f"streaming posterior not normalized ({context})",
+        )
+    expected = REFERENCE_IMPLEMENTATIONS[("streaming", name)](crowd, **params)
+    if name == "MV":
+        np.testing.assert_allclose(
+            online.posterior, expected.posterior, atol=atol, rtol=0,
+            err_msg=f"incremental MV diverged from batch MV ({context})",
+        )
+    replay = stream.fit_to_convergence()
+    np.testing.assert_allclose(
+        replay.posterior, expected.posterior, atol=atol, rtol=0,
+        err_msg=f"replayed stream diverged from batch twin ({context})",
+    )
+    if replay.confusions is not None and expected.confusions is not None:
+        np.testing.assert_allclose(
+            replay.confusions, expected.confusions, atol=atol, rtol=0,
+            err_msg=f"replayed confusions diverged from batch twin ({context})",
+        )
+    if "iterations" in expected.extras:
+        assert replay.extras.get("iterations") == expected.extras["iterations"], context
 
 
 def assert_degenerate_ok(name: str, kind: str, crowd) -> None:

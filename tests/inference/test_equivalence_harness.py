@@ -10,11 +10,13 @@ from .equivalence_harness import (
     REFERENCE_IMPLEMENTATIONS,
     assert_degenerate_ok,
     assert_matches_reference,
+    assert_streaming_replay_matches,
     crowd_cases,
     method_supports,
 )
 
 KINDS = ("classification", "sequence")
+ALL_KINDS = KINDS + ("streaming",)
 
 
 def _matrix(reference_comparable: bool):
@@ -45,10 +47,33 @@ def test_method_handles_degenerate_crowds(name, kind, case):
     assert_degenerate_ok(name, kind, crowd)
 
 
+def _streaming_matrix():
+    """(method name, case) pairs: every streaming method × every
+    classification crowd, including the degenerate ones — the batch twin
+    handles I = 0 since PR 3, so the replay contract covers them too."""
+    pairs = []
+    for case in crowd_cases("classification"):
+        for name in available_methods("streaming"):
+            pairs.append(pytest.param(name, case, id=f"streaming-{name}-{case.name}"))
+    return pairs
+
+
+@pytest.mark.parametrize("name,case", _streaming_matrix())
+def test_streaming_replay_matches_batch_at_convergence(name, case):
+    """The tentpole contract: a full crowd replayed through the streaming
+    API in batches (decay disabled) reproduces the batch method's posterior
+    at convergence, atol 1e-8."""
+    crowd = case.build()
+    if not method_supports(name, "streaming", crowd):
+        pytest.skip(f"{name} does not apply to {case.name}")
+    assert_streaming_replay_matches(name, crowd, seed=101, atol=1e-8)
+
+
 def test_every_registered_method_has_a_reference():
-    """Forcing function: a newly registered method without a pre-refactor
-    executable specification fails here, not silently skips the harness."""
-    for kind in KINDS:
+    """Forcing function: a newly registered method without an executable
+    specification (pre-refactor implementation, or batch twin for
+    streaming methods) fails here, not silently skips the harness."""
+    for kind in ALL_KINDS:
         for name in available_methods(kind):
             assert (kind, name) in REFERENCE_IMPLEMENTATIONS, (
                 f"method {name!r} ({kind}) registered without a reference "
