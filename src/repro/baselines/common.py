@@ -133,6 +133,8 @@ def run_classification_epoch(
 
     Returns the mean training loss. ``targets`` is the ``(I, K)`` learning
     target — ``qf(t)`` for EM-family methods, one-hot labels otherwise.
+    An empty training set is a no-op epoch: loss 0.0, zero optimizer
+    steps (``batch_indices`` yields no batches), parameters untouched.
     """
     model.train()
     total_loss = 0.0
@@ -167,6 +169,8 @@ def run_sequence_epoch(
 
     ``targets`` is ``(I, T, K)``; padded positions are masked from the loss.
     ``weights`` (``(I, T)``) carries per-token annotator counts for Eq. 10.
+    Empty training sets are no-op epochs, as in
+    :func:`run_classification_epoch`.
     """
     model.train()
     max_time = tokens.shape[1]
@@ -289,7 +293,8 @@ def fit_tagger(
     if hasattr(model, "initialize_output_bias"):
         mask = np.arange(tokens.shape[1])[None, :] < lengths[:, None]
         priors = (targets * mask[:, :, None]).sum(axis=(0, 1))
-        model.initialize_output_bias(priors / priors.sum())
+        if priors.sum() > 0:  # empty training set: keep the default bias
+            model.initialize_output_bias(priors / priors.sum())
     optimizer, schedule = build_optimizer(model.parameters(), config)
     stopper = EarlyStopping(model, config.patience) if dev is not None else None
     history: dict = {"loss": [], "dev_score": []}

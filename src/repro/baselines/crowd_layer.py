@@ -273,11 +273,12 @@ class CrowdLayerSequenceTagger:
             history["pretrain"] = fit_tagger(
                 self.model, pre_config, self.rng, train.tokens, train.lengths, targets, dev=None
             )
-        elif hasattr(self.model, "initialize_output_bias"):
+        elif hasattr(self.model, "initialize_output_bias") and len(train) > 0:
             votes = np.sum(
                 [crowd.token_vote_counts(i).sum(axis=0) for i in range(len(train))], axis=0
             ).astype(np.float64)
-            self.model.initialize_output_bias(votes / votes.sum())
+            if votes.sum() > 0:  # no votes at all: keep the default bias
+                self.model.initialize_output_bias(votes / votes.sum())
 
         one_hot = self._padded_crowd_one_hot(train)
         parameters = self.model.parameters() + self.layer.parameters()

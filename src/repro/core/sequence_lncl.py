@@ -126,9 +126,10 @@ class LogicLNCLSequenceTagger:
         qa, qb = qf, qf
         confusions = sequence_update_confusions(qf, crowd, self.config.confusion_smoothing)
 
-        if hasattr(self.model, "initialize_output_bias"):
+        if hasattr(self.model, "initialize_output_bias") and qf:
             priors = np.concatenate(qf, axis=0).sum(axis=0)
-            self.model.initialize_output_bias(priors / priors.sum())
+            if priors.sum() > 0:  # empty training set: keep the default bias
+                self.model.initialize_output_bias(priors / priors.sum())
 
         optimizer, schedule = build_optimizer(self.model.parameters(), self.config)
         stopper = EarlyStopping(self.model, self.config.patience) if dev is not None else None

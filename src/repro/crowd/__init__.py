@@ -18,12 +18,16 @@ from .simulation import (
     sample_confusion_matrix,
     simulate_classification_crowd,
 )
+from .sharding import CrowdShard, SequenceCrowdShard, SparseLabelShard
 from .types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
 
 __all__ = [
     "MISSING",
     "CrowdLabelMatrix",
     "SequenceCrowdLabels",
+    "CrowdShard",
+    "SequenceCrowdShard",
+    "SparseLabelShard",
     "AnnotatorPool",
     "sample_confusion_matrix",
     "sample_annotator_pool",

@@ -67,18 +67,40 @@ def boxplot_stats(values: np.ndarray) -> BoxplotStats:
 @dataclass
 class _AnnotatorReport:
     counts: np.ndarray
-    quality: np.ndarray          # accuracy (classification) or F1 (sequences)
+    quality: np.ndarray          # accuracy (classification) or F1 (sequences);
+                                 # NaN for annotators with no labels at all
     confusions: np.ndarray       # (J, K, K) empirical confusion matrices
 
+    def _require_selection(self, values: np.ndarray, what: str, min_labels: int) -> np.ndarray:
+        if values.size == 0:
+            busiest = int(self.counts.max()) if self.counts.size else 0
+            raise ValueError(
+                f"no annotator passes min_labels={min_labels} for {what} "
+                f"(crowd has {self.counts.size} annotators; the busiest "
+                f"labeled {busiest} instances)"
+            )
+        return values
+
     def count_stats(self, min_labels: int = 1) -> BoxplotStats:
-        return boxplot_stats(self.counts[self.counts >= min_labels])
+        selected = self.counts[self.counts >= min_labels]
+        return boxplot_stats(self._require_selection(selected, "count_stats", min_labels))
 
     def quality_stats(self, min_labels: int = 1) -> BoxplotStats:
-        return boxplot_stats(self.quality[self.counts >= min_labels])
+        # Zero-label annotators carry quality NaN ("no data"), not 0.0
+        # ("always wrong"); they are excluded here even at min_labels=0 so
+        # they can never drag the Fig. 4 boxplots down.
+        keep = (self.counts >= min_labels) & ~np.isnan(self.quality)
+        return boxplot_stats(
+            self._require_selection(self.quality[keep], "quality_stats", min_labels)
+        )
 
     def top_annotators(self, n: int) -> np.ndarray:
-        """Indices of the n most active annotators (Fig. 6/7a selection)."""
-        return np.argsort(-self.counts)[:n]
+        """Indices of the n most active annotators (Fig. 6/7a selection).
+
+        Stable sort so tied volumes keep ascending annotator order — the
+        selection must not reshuffle across platforms/numpy versions.
+        """
+        return np.argsort(-self.counts, kind="stable")[:n]
 
     def overall_reliability(self) -> np.ndarray:
         """Mean diagonal of each confusion matrix (Fig. 6/7b y-axis)."""
@@ -93,7 +115,9 @@ def classification_annotator_report(
     truth = np.asarray(truth)
     counts = crowd.annotations_per_annotator()
     J = crowd.num_annotators
-    accuracy = np.zeros(J)
+    # NaN = "never labeled anything": distinct from an accuracy of 0.0,
+    # which means "labeled and always wrong".
+    accuracy = np.full(J, np.nan)
     confusions = np.zeros((J, crowd.num_classes, crowd.num_classes))
     observed = crowd.observed_mask
     for j in range(J):
@@ -112,7 +136,7 @@ def sequence_annotator_report(
     """Per-annotator volume, span F1, and token confusion for sequences."""
     J = crowd.num_annotators
     counts = crowd.annotations_per_annotator()
-    f1 = np.zeros(J)
+    f1 = np.full(J, np.nan)  # NaN = labeled no sentences (see classification twin)
     confusions = np.zeros((J, crowd.num_classes, crowd.num_classes))
     predictions_per_annotator: list[list[np.ndarray]] = [[] for _ in range(J)]
     truths_per_annotator: list[list[np.ndarray]] = [[] for _ in range(J)]

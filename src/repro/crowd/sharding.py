@@ -1,0 +1,433 @@
+"""Shard views over the crowd containers — the data layer of shard-and-merge
+truth inference.
+
+The inference kernels in :mod:`repro.inference.primitives` consume a small
+container surface: the flat COO triples, the (optional) sparse incidence,
+vote counts, and a handful of counting helpers. A *shard* is anything that
+exposes that surface over a slice of a crowd; the map-reduce EM layer in
+:mod:`repro.inference.sharding` never touches a whole crowd directly, so
+inference memory is bounded by the largest shard plus the O(I·K) posterior
+it is asked to produce.
+
+Three shard flavors cover the deployment spectrum:
+
+* :class:`CrowdShard` / :class:`SequenceCrowdShard` — zero-copy
+  contiguous-range views of an in-memory container, produced by
+  ``shards(n)`` / ``iter_shards(max_observations)`` on the containers.
+  Every cached view (COO triples, incidence, vote counts, masks) is a
+  slice of the *parent's* cache: building a cache through one shard
+  populates the parent once and every sibling shares it. Only the
+  localized row-index array is fresh memory (O(shard observations)).
+* :class:`SparseLabelShard` — a standalone shard defined directly by its
+  COO triples, with no dense ``(I, J)`` matrix behind it. This is the
+  out-of-core interchange format: a worker that loads a shard from disk
+  needs exactly what the kernels consume, so it ships the triples and
+  skips densification entirely.
+
+Shards hold references into their parent's caches; do not ``extend`` /
+``append_labels`` on the parent while shard views are alive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
+
+__all__ = ["CrowdShard", "SequenceCrowdShard", "SparseLabelShard", "partition_bounds"]
+
+
+def partition_bounds(total: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ``[start, stop)`` ranges covering ``total``.
+
+    ``np.array_split`` sizing: the first ``total % num_shards`` ranges are
+    one element larger; when ``num_shards > total`` the surplus ranges are
+    empty. The single source of truth for every contiguous shard layout
+    (both containers' ``shards(n)`` and the out-of-core benches).
+    """
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    base, extra = divmod(total, num_shards)
+    bounds, start = [], 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+_FAST_CSR_STATE: dict[str, bool | None] = {"ok": None}
+
+
+def _fast_csr(data, indices, indptr, shape):
+    """CSR from already-canonical arrays, skipping constructor validation.
+
+    Out-of-core shards rebuild their incidence every pass, and scipy's
+    public constructor spends as long re-validating canonical input as the
+    two spMMs it feeds. The bypass is probed once per process against the
+    validating constructor (a tiny build + matmul comparison); if the
+    installed scipy disagrees or errors, every later call takes the public
+    constructor instead.
+    """
+    from scipy.sparse import csr_matrix
+
+    def bypass(data, indices, indptr, shape):
+        matrix = csr_matrix.__new__(csr_matrix)
+        matrix.data = data
+        matrix.indices = indices
+        matrix.indptr = indptr
+        matrix._shape = shape
+        return matrix
+
+    if _FAST_CSR_STATE["ok"] is None:
+        try:
+            probe_args = (
+                np.ones(3),
+                np.array([0, 2, 1], dtype=np.int32),
+                np.array([0, 2, 3], dtype=np.int32),
+                (2, 3),
+            )
+            probe = bypass(*probe_args)
+            reference = csr_matrix(probe_args[:3], shape=probe_args[3])
+            dense = np.arange(6, dtype=np.float64).reshape(3, 2)
+            ok = (
+                np.abs(probe @ dense - reference @ dense).max() == 0.0
+                and np.abs(probe.T @ np.ones((2, 2)) - reference.T @ np.ones((2, 2))).max() == 0.0
+            )
+            _FAST_CSR_STATE["ok"] = bool(ok)
+        except Exception:
+            _FAST_CSR_STATE["ok"] = False
+    if _FAST_CSR_STATE["ok"]:
+        return bypass(data, indices, indptr, shape)
+    return csr_matrix((data, indices, indptr), shape=shape)
+
+
+class CrowdShard:
+    """Zero-copy view of a contiguous instance range of a
+    :class:`~repro.crowd.types.CrowdLabelMatrix`.
+
+    Instance indices are local to the shard (``0 .. num_instances``);
+    :attr:`start` records the parent offset. The COO slice bounds come
+    from one ``searchsorted`` against the parent's cached (row-sorted)
+    triples; the annotator/label columns of :meth:`flat_label_pairs` are
+    views into the parent arrays, and :meth:`vote_counts` /
+    :attr:`observed_mask` are plain row slices of the parent caches.
+    """
+
+    def __init__(self, parent: CrowdLabelMatrix, start: int, stop: int) -> None:
+        if not 0 <= start <= stop <= parent.num_instances:
+            raise ValueError(
+                f"shard range [{start}, {stop}) outside [0, {parent.num_instances}]"
+            )
+        self.parent = parent
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"CrowdShard([{self.start}:{self.stop}) of {self.parent.num_instances})"
+
+    # -- container surface ------------------------------------------------ #
+    @property
+    def num_classes(self) -> int:
+        return self.parent.num_classes
+
+    @property
+    def num_annotators(self) -> int:
+        return self.parent.num_annotators
+
+    @property
+    def num_instances(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def labels(self) -> np.ndarray:
+        """``(n, J)`` label block — a view of the parent matrix."""
+        return self.parent.labels[self.start : self.stop]
+
+    @property
+    def observed_mask(self) -> np.ndarray:
+        return self.parent.observed_mask[self.start : self.stop]
+
+    def _coo_bounds(self) -> tuple[int, int]:
+        cached = getattr(self, "_coo_bounds_cache", None)
+        if cached is None:
+            rows, _, _ = self.parent.flat_label_pairs()
+            cached = (
+                int(np.searchsorted(rows, self.start, side="left")),
+                int(np.searchsorted(rows, self.stop, side="left")),
+            )
+            self._coo_bounds_cache = cached
+        return cached
+
+    def flat_label_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shard-local ``(instance, annotator, label)`` triples (cached).
+
+        The annotator and label arrays are slices of the parent's cached
+        triples; only the localized instance index is new memory.
+        """
+        cached = getattr(self, "_flat_pairs_cache", None)
+        if cached is None:
+            rows, annotators, given = self.parent.flat_label_pairs()
+            lo, hi = self._coo_bounds()
+            cached = (rows[lo:hi] - self.start, annotators[lo:hi], given[lo:hi])
+            self._flat_pairs_cache = cached
+        return cached
+
+    def label_incidence(self):
+        """Row slice of the parent's sparse incidence (cached; None without
+        scipy)."""
+        cached = getattr(self, "_incidence_cache", None)
+        if cached is None:
+            parent = self.parent.label_incidence()
+            cached = (None,) if parent is None else (parent[self.start : self.stop],)
+            self._incidence_cache = cached
+        return cached[0]
+
+    def vote_counts(self) -> np.ndarray:
+        """``(n, K)`` per-instance vote counts — a row slice of the parent
+        cache (read-only, like every cached view)."""
+        return self.parent.vote_counts()[self.start : self.stop]
+
+    def annotations_per_instance(self) -> np.ndarray:
+        rows, _, _ = self.flat_label_pairs()
+        return np.bincount(rows, minlength=self.num_instances)
+
+    def annotations_per_annotator(self) -> np.ndarray:
+        _, annotators, _ = self.flat_label_pairs()
+        return np.bincount(annotators, minlength=self.num_annotators)
+
+    def total_annotations(self) -> int:
+        lo, hi = self._coo_bounds()
+        return hi - lo
+
+    def to_matrix(self) -> CrowdLabelMatrix:
+        """Materialize as a standalone container (copies the label block)."""
+        return CrowdLabelMatrix(self.labels.copy(), self.num_classes)
+
+    def to_sparse(self) -> "SparseLabelShard":
+        """Export as a standalone COO shard (the out-of-core format)."""
+        rows, annotators, given = self.flat_label_pairs()
+        return SparseLabelShard(
+            rows.copy(), annotators.copy(), given.copy(),
+            num_instances=self.num_instances,
+            num_annotators=self.num_annotators,
+            num_classes=self.num_classes,
+        )
+
+
+class SequenceCrowdShard:
+    """Zero-copy view of a contiguous sentence range of a
+    :class:`~repro.crowd.types.SequenceCrowdLabels`.
+
+    Token indices are local to the shard; sentence ``i`` of the shard is
+    parent sentence ``start + i``. All flat views are slices of the
+    parent's caches with one localized offset/token-index array each.
+    """
+
+    def __init__(self, parent: SequenceCrowdLabels, start: int, stop: int) -> None:
+        if not 0 <= start <= stop <= parent.num_instances:
+            raise ValueError(
+                f"shard range [{start}, {stop}) outside [0, {parent.num_instances}]"
+            )
+        self.parent = parent
+        self.start = int(start)
+        self.stop = int(stop)
+
+    @property
+    def num_classes(self) -> int:
+        return self.parent.num_classes
+
+    @property
+    def num_annotators(self) -> int:
+        return self.parent.num_annotators
+
+    @property
+    def num_instances(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def labels(self) -> list[np.ndarray]:
+        return self.parent.labels[self.start : self.stop]
+
+    def _token_bounds(self) -> tuple[int, int]:
+        _, offsets = self.parent.flat_labels()
+        return int(offsets[self.start]), int(offsets[self.stop])
+
+    def flat_labels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Shard-local ``((ΣT_i, J) stacked labels, (n+1,) offsets)``."""
+        cached = getattr(self, "_flat_cache", None)
+        if cached is None:
+            stacked, offsets = self.parent.flat_labels()
+            lo, hi = self._token_bounds()
+            cached = (stacked[lo:hi], offsets[self.start : self.stop + 1] - lo)
+            self._flat_cache = cached
+        return cached
+
+    def flat_label_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shard-local ``(token, annotator, label)`` triples (cached)."""
+        cached = getattr(self, "_flat_pairs_cache", None)
+        if cached is None:
+            tokens, annotators, given = self.parent.flat_label_pairs()
+            lo, hi = self._token_bounds()
+            a = int(np.searchsorted(tokens, lo, side="left"))
+            b = int(np.searchsorted(tokens, hi, side="left"))
+            cached = (tokens[a:b] - lo, annotators[a:b], given[a:b])
+            self._flat_pairs_cache = cached
+        return cached
+
+    def token_label_incidence(self):
+        """Token-row slice of the parent's sparse incidence (cached)."""
+        cached = getattr(self, "_incidence_cache", None)
+        if cached is None:
+            parent = self.parent.token_label_incidence()
+            if parent is None:
+                cached = (None,)
+            else:
+                lo, hi = self._token_bounds()
+                cached = (parent[lo:hi],)
+            self._incidence_cache = cached
+        return cached[0]
+
+    def annotator_mask(self) -> np.ndarray:
+        return self.parent.annotator_mask()[self.start : self.stop]
+
+    def annotations_per_instance(self) -> np.ndarray:
+        return self.annotator_mask().sum(axis=1)
+
+    def annotations_per_annotator(self) -> np.ndarray:
+        return self.annotator_mask().sum(axis=0)
+
+    def token_vote_counts_flat(self) -> np.ndarray:
+        """Per-token vote counts over the shard's sentences, ``(ΣT_i, K)``."""
+        stacked, _ = self.flat_labels()
+        tokens, _, votes = self.flat_label_pairs()
+        key = tokens * self.num_classes + votes
+        counts = np.bincount(key, minlength=stacked.shape[0] * self.num_classes)
+        return counts.reshape(stacked.shape[0], self.num_classes)
+
+    def total_annotations(self) -> int:
+        return self.flat_label_pairs()[0].size
+
+    def to_sequence_labels(self) -> SequenceCrowdLabels:
+        """Materialize as a standalone container (copies the sentences)."""
+        return SequenceCrowdLabels(
+            [matrix.copy() for matrix in self.labels],
+            self.num_classes,
+            self.num_annotators,
+        )
+
+
+class SparseLabelShard:
+    """Standalone crowd shard defined by its COO triples — no dense matrix.
+
+    The out-of-core interchange format: a shard loaded from disk carries
+    exactly what the kernels consume, ``(instance, annotator, label)``
+    triples plus dimensions, so construction is O(observations) with no
+    ``(I, J)`` densification. Triples need not be sorted; instances with
+    no triples are simply unlabeled.
+
+    Parameters
+    ----------
+    rows, annotators, labels:
+        ``(n_obs,)`` integer arrays: local instance index in
+        ``[0, num_instances)``, annotator in ``[0, num_annotators)``,
+        label in ``[0, num_classes)``.
+    sparse_incidence:
+        When False, :meth:`label_incidence` always returns None and the
+        kernels take their bincount path — the right choice for throwaway
+        shards rebuilt every pass, where a per-pass CSR construction would
+        dominate the kernel time.
+    """
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        annotators: np.ndarray,
+        labels: np.ndarray,
+        num_instances: int,
+        num_annotators: int,
+        num_classes: int,
+        sparse_incidence: bool = True,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {num_classes}")
+        if num_instances < 0 or num_annotators < 1:
+            raise ValueError("need non-negative instances and at least one annotator")
+        rows = np.asarray(rows, dtype=np.int64)
+        annotators = np.asarray(annotators, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if not rows.shape == annotators.shape == labels.shape or rows.ndim != 1:
+            raise ValueError("rows/annotators/labels must be equal-length 1-D arrays")
+        for name, values, bound in (
+            ("rows", rows, num_instances),
+            ("annotators", annotators, num_annotators),
+            ("labels", labels, num_classes),
+        ):
+            if values.size and (values.min() < 0 or values.max() >= bound):
+                raise ValueError(f"{name} out of range [0, {bound})")
+        self._rows = rows
+        self._annotators = annotators
+        self._labels = labels
+        self.num_instances = int(num_instances)
+        self.num_annotators = int(num_annotators)
+        self.num_classes = int(num_classes)
+        self._sparse_incidence = bool(sparse_incidence)
+
+    @classmethod
+    def from_dense(cls, labels: np.ndarray, num_classes: int, **kwargs) -> "SparseLabelShard":
+        """Build from a dense ``(I, J)`` block under the
+        :class:`~repro.crowd.types.CrowdLabelMatrix` convention."""
+        labels = np.asarray(labels)
+        rows, annotators = np.nonzero(labels != MISSING)
+        return cls(
+            rows, annotators, labels[rows, annotators],
+            num_instances=labels.shape[0],
+            num_annotators=labels.shape[1],
+            num_classes=num_classes,
+            **kwargs,
+        )
+
+    def flat_label_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._rows, self._annotators, self._labels
+
+    def label_incidence(self):
+        if not self._sparse_incidence:
+            return None
+        cached = getattr(self, "_incidence_cache", None)
+        if cached is None:
+            try:
+                from scipy.sparse import csr_matrix
+            except ImportError:
+                cached = (None,)
+            else:
+                group = self._annotators * self.num_classes + self._labels
+                shape = (self.num_instances, self.num_annotators * self.num_classes)
+                data = np.ones(self._rows.size)
+                if self._rows.size and (np.diff(self._rows) >= 0).all():
+                    # Row-sorted triples (the common case: shards cut from
+                    # a row-major scan) admit a direct CSR build — the
+                    # indptr is one searchsorted, no COO→CSR sort, and no
+                    # constructor re-validation (see _fast_csr).
+                    indptr = np.searchsorted(
+                        self._rows, np.arange(self.num_instances + 1)
+                    ).astype(np.int32)
+                    indices = group.astype(np.int32)
+                    cached = (_fast_csr(data, indices, indptr, shape),)
+                else:
+                    cached = (csr_matrix((data, (self._rows, group)), shape=shape),)
+            self._incidence_cache = cached
+        return cached[0]
+
+    def vote_counts(self) -> np.ndarray:
+        key = self._rows * self.num_classes + self._labels
+        counts = np.bincount(key, minlength=self.num_instances * self.num_classes)
+        return counts.reshape(self.num_instances, self.num_classes)
+
+    def annotations_per_instance(self) -> np.ndarray:
+        return np.bincount(self._rows, minlength=self.num_instances)
+
+    def annotations_per_annotator(self) -> np.ndarray:
+        return np.bincount(self._annotators, minlength=self.num_annotators)
+
+    def total_annotations(self) -> int:
+        return int(self._rows.size)

@@ -165,6 +165,51 @@ class CrowdLabelMatrix:
         """Restrict to a subset of instances (annotator axis unchanged)."""
         return CrowdLabelMatrix(self.labels[np.asarray(indices)], self.num_classes)
 
+    def shards(self, num_shards: int) -> list:
+        """Split into ``num_shards`` contiguous zero-copy shard views.
+
+        Sizing follows ``np.array_split``: near-equal shards, the first
+        ``I % num_shards`` one instance larger; when ``num_shards > I``
+        the surplus shards are empty (legal — the map-reduce layer treats
+        them as contributing nothing). Shard caches are slices of this
+        container's caches; see :mod:`repro.crowd.sharding`.
+        """
+        from .sharding import CrowdShard, partition_bounds
+
+        return [
+            CrowdShard(self, start, stop)
+            for start, stop in partition_bounds(self.num_instances, num_shards)
+        ]
+
+    def iter_shards(self, max_observations: int):
+        """Lazily yield contiguous shard views of bounded observation count.
+
+        Each shard carries at most ``max_observations`` observed labels —
+        except that every shard holds at least one instance, so a single
+        instance with more labels than the budget still ships alone. An
+        empty crowd yields one empty shard. The generator is one-shot;
+        multi-pass consumers (every iterative sharded method) should wrap
+        it in a callable: ``lambda: crowd.iter_shards(n)``.
+        """
+        from .sharding import CrowdShard
+
+        if max_observations < 1:
+            raise ValueError(f"need a positive observation budget, got {max_observations}")
+        I = self.num_instances
+        if I == 0:
+            yield CrowdShard(self, 0, 0)
+            return
+        per_instance = self.annotations_per_instance()
+        start = 0
+        while start < I:
+            stop = start + 1
+            budget = max_observations - int(per_instance[start])
+            while stop < I and int(per_instance[stop]) <= budget:
+                budget -= int(per_instance[stop])
+                stop += 1
+            yield CrowdShard(self, start, stop)
+            start = stop
+
     def extend(self, new_labels: np.ndarray) -> "CrowdLabelMatrix":
         """Append whole instances in place — the streaming ingest path.
 
@@ -426,6 +471,43 @@ class SequenceCrowdLabels:
         """Restrict to a subset of sentences."""
         picked = [self.labels[int(i)] for i in np.asarray(indices)]
         return SequenceCrowdLabels(picked, self.num_classes, self.num_annotators)
+
+    def shards(self, num_shards: int) -> list:
+        """Split into ``num_shards`` contiguous zero-copy sentence-range
+        views (``np.array_split`` sizing, like
+        :meth:`CrowdLabelMatrix.shards`)."""
+        from .sharding import SequenceCrowdShard, partition_bounds
+
+        return [
+            SequenceCrowdShard(self, start, stop)
+            for start, stop in partition_bounds(self.num_instances, num_shards)
+        ]
+
+    def iter_shards(self, max_observations: int):
+        """Lazily yield contiguous sentence-range views carrying at most
+        ``max_observations`` observed token labels each (at least one
+        sentence per shard; one-shot — wrap in a callable for multi-pass
+        use, like :meth:`CrowdLabelMatrix.iter_shards`)."""
+        from .sharding import SequenceCrowdShard
+
+        if max_observations < 1:
+            raise ValueError(f"need a positive observation budget, got {max_observations}")
+        I = self.num_instances
+        if I == 0:
+            yield SequenceCrowdShard(self, 0, 0)
+            return
+        _, offsets = self.flat_labels()
+        lengths = np.diff(offsets)
+        per_sentence = self.annotations_per_instance() * lengths
+        start = 0
+        while start < I:
+            stop = start + 1
+            budget = max_observations - int(per_sentence[start])
+            while stop < I and int(per_sentence[stop]) <= budget:
+                budget -= int(per_sentence[stop])
+                stop += 1
+            yield SequenceCrowdShard(self, start, stop)
+            start = stop
 
     def append_labels(self, new_labels: list[np.ndarray]) -> "SequenceCrowdLabels":
         """Append whole sentences in place — the streaming ingest path.

@@ -28,9 +28,14 @@ def batch_indices(
         Required when ``shuffle`` is true, so epoch order is reproducible.
     drop_last:
         Skip a trailing partial batch.
+
+    ``n = 0`` yields no batches: an empty dataset is a no-op epoch, not an
+    error — the epoch runners report loss 0.0 with zero steps, matching
+    the empty-dataset tolerance of the prediction sweeps and the inference
+    methods. Negative sizes are still rejected.
     """
-    if n <= 0:
-        raise ValueError(f"dataset size must be positive, got {n}")
+    if n < 0:
+        raise ValueError(f"dataset size must be non-negative, got {n}")
     if batch_size <= 0:
         raise ValueError(f"batch size must be positive, got {batch_size}")
     if shuffle:

@@ -26,7 +26,12 @@ Architecture — three layers over one sparse-crowd core:
    the same kernels *online*: label batches are ingested incrementally
    (``partial_fit``) with per-update cost O(new observations), under a
    replay-equivalence contract that pins the no-decay stream to the batch
-   methods at convergence.
+   methods at convergence. :mod:`~repro.inference.sharding` runs them
+   *sharded*: every E/M round maps shards to mergeable
+   :class:`~repro.inference.sharding.ShardStats` and reduces before one
+   global M-step, so crowd-data memory is O(largest shard) — in-memory
+   shard views or lazily loaded out-of-core shards — pinned to the batch
+   methods at atol 1e-10 on any shard layout.
 
 3. **Registry** (:mod:`~repro.inference.registry`): the single name →
    factory table the experiment suites and examples resolve through. To
@@ -45,13 +50,18 @@ from .base import (
     TruthInferenceMethod,
 )
 from .bsc_seq import BSCSeq, bsc_seq_reference
-from .catd import CATD, catd_reference
-from .dawid_skene import DawidSkene, dawid_skene_reference
-from .glad import GLAD, glad_reference
+from .catd import CATD, ShardedCATD, catd_reference
+from .dawid_skene import DawidSkene, ShardedDawidSkene, dawid_skene_reference
+from .glad import GLAD, ShardedGLAD, glad_reference
 from .hmm_crowd import HMMCrowd, forward_backward, hmm_crowd_reference
-from .ibcc import IBCC, ibcc_reference
-from .majority_vote import MajorityVote, majority_vote_posterior, majority_vote_reference
-from .pm import PM, pm_reference
+from .ibcc import IBCC, ShardedIBCC, ibcc_reference
+from .majority_vote import (
+    MajorityVote,
+    ShardedMajorityVote,
+    majority_vote_posterior,
+    majority_vote_reference,
+)
+from .pm import PM, ShardedPM, pm_reference
 from .primitives import (
     annotator_agreement,
     batched_forward_backward,
@@ -63,6 +73,13 @@ from .primitives import (
 )
 from .registry import available_methods, build_method_table, get_method, register
 from .sequence_utils import TokenLevelInference, flatten_sequence_crowd
+from .sharding import (
+    ShardedTruthInference,
+    ShardStats,
+    as_shard_source,
+    merge_shard_stats,
+    run_sharded,
+)
 from .streaming import (
     StreamingDawidSkene,
     StreamingGLAD,
@@ -110,4 +127,15 @@ __all__ = [
     "StreamingMajorityVote",
     "StreamingDawidSkene",
     "StreamingGLAD",
+    "ShardStats",
+    "merge_shard_stats",
+    "as_shard_source",
+    "ShardedTruthInference",
+    "run_sharded",
+    "ShardedMajorityVote",
+    "ShardedDawidSkene",
+    "ShardedIBCC",
+    "ShardedGLAD",
+    "ShardedPM",
+    "ShardedCATD",
 ]

@@ -23,8 +23,9 @@ from ..crowd.types import CrowdLabelMatrix
 from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
 from .primitives import confusion_counts, emission_log_likelihood
+from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
 
-__all__ = ["DawidSkene", "dawid_skene_reference"]
+__all__ = ["DawidSkene", "ShardedDawidSkene", "dawid_skene_reference"]
 
 
 class DawidSkene(TruthInferenceMethod):
@@ -84,6 +85,87 @@ class DawidSkene(TruthInferenceMethod):
             posterior=posterior,
             confusions=confusions,
             extras=monitor.extras(),
+        )
+
+
+class ShardedDawidSkene(ShardedTruthInference):
+    """Map-reduce Dawid–Skene: one data pass per EM round.
+
+    Round structure (mirroring :class:`DawidSkene` exactly): the global
+    M-step runs from the merged :class:`~repro.inference.sharding.
+    ShardStats` of the previous pass (soft confusion counts + class
+    totals), then one map pass applies the refreshed parameters' E-step to
+    every shard and gathers the next round's statistics — so each EM round
+    reads the shard data exactly once. The init pass seeds with per-shard
+    majority voting, as the batch method does. Equivalence to the batch
+    twin (posterior, confusions, iteration count) holds at atol 1e-10 on
+    any shard layout; the only divergence is summation grouping.
+    """
+
+    name = "DS"
+
+    def __init__(
+        self, max_iterations: int = 100, tolerance: float = 1e-6, smoothing: float = 0.01
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("need at least one iteration")
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+
+    def infer_sharded(self, shards, executor=None) -> InferenceResult:
+        source = as_shard_source(shards)
+
+        def init_map(shard):
+            block = majority_vote_posterior(shard)
+            return block, ShardStats(
+                confusion=confusion_counts(block, shard),
+                class_totals=block.sum(axis=0),
+                **shard_base_stats(shard),
+            )
+
+        _, K, blocks, stats = self._initial_pass(source, executor, init_map)
+        self._require_annotated(stats)
+        num_shards = len(blocks)
+        observations = stats.observations
+        monitor = ConvergenceMonitor(self.tolerance, self.max_iterations)
+
+        while True:
+            # Global M-step from the merged sufficient statistics.
+            counts = stats.confusion + self.smoothing
+            confusions = counts / counts.sum(axis=2, keepdims=True)
+            prior = stats.class_totals + self.smoothing
+            prior = prior / prior.sum()
+            log_prior = np.log(prior)
+            log_confusions = np.log(confusions)
+
+            def em_map(shard, old_block):
+                # E-step under the fresh global parameters, plus this
+                # block's contribution to the *next* round's M-step.
+                log_posterior = log_prior[None, :] + emission_log_likelihood(
+                    shard, log_confusions
+                )
+                shift = log_posterior.max(axis=1, keepdims=True)
+                unnormalized = np.exp(log_posterior - shift)
+                normalizer = unnormalized.sum(axis=1, keepdims=True)
+                block = unnormalized / normalizer
+                return block, ShardStats(
+                    confusion=confusion_counts(block, shard),
+                    class_totals=block.sum(axis=0),
+                    log_likelihood=float((shift[:, 0] + np.log(normalizer[:, 0])).sum()),
+                    delta=float(np.abs(block - old_block).max(initial=0.0)),
+                )
+
+            blocks, stats = self._pass(source, blocks, executor, em_map)
+            if monitor.step(stats.delta, stats.log_likelihood):
+                break
+
+        extras = monitor.extras()
+        extras.update(shards=num_shards, observations=observations)
+        return InferenceResult(
+            posterior=self._concat(blocks, K), confusions=confusions, extras=extras
         )
 
 

@@ -11,8 +11,14 @@ import numpy as np
 
 from ..crowd.types import MISSING, CrowdLabelMatrix
 from .base import InferenceResult, TruthInferenceMethod
+from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
 
-__all__ = ["MajorityVote", "majority_vote_posterior", "majority_vote_reference"]
+__all__ = [
+    "MajorityVote",
+    "ShardedMajorityVote",
+    "majority_vote_posterior",
+    "majority_vote_reference",
+]
 
 
 def majority_vote_posterior(crowd: CrowdLabelMatrix) -> np.ndarray:
@@ -30,6 +36,40 @@ class MajorityVote(TruthInferenceMethod):
 
     def infer(self, crowd: CrowdLabelMatrix) -> InferenceResult:
         return InferenceResult(posterior=majority_vote_posterior(crowd))
+
+
+class ShardedMajorityVote(ShardedTruthInference):
+    """Map-reduce soft majority voting — one pass, no global model.
+
+    Each instance's vote fraction depends only on its own labels, so the
+    map stage is the whole computation and the reduce is bookkeeping
+    (global vote totals for diagnostics). The result equals batch
+    :class:`MajorityVote` on the concatenated shards; being single-pass,
+    this is the one sharded method that accepts a one-shot shard iterator.
+    """
+
+    name = "MV"
+
+    def infer_sharded(self, shards, executor=None) -> InferenceResult:
+        source = as_shard_source(shards)
+
+        def mapper(shard):
+            block = majority_vote_posterior(shard)
+            stats = ShardStats(
+                vote_totals=np.asarray(shard.vote_counts(), dtype=np.float64).sum(axis=0),
+                **shard_base_stats(shard),
+            )
+            return block, stats
+
+        _, K, blocks, stats = self._initial_pass(source, executor, mapper)
+        return InferenceResult(
+            posterior=self._concat(blocks, K),
+            extras={
+                "shards": len(blocks),
+                "observations": stats.observations,
+                "vote_totals": stats.vote_totals,
+            },
+        )
 
 
 def majority_vote_reference(crowd: CrowdLabelMatrix) -> InferenceResult:

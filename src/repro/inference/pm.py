@@ -24,8 +24,9 @@ from ..crowd.types import CrowdLabelMatrix
 from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
 from .primitives import annotator_agreement, normalize_vote_scores, weighted_vote_scores
+from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
 
-__all__ = ["PM", "pm_reference"]
+__all__ = ["PM", "ShardedPM", "pm_reference"]
 
 
 class PM(TruthInferenceMethod):
@@ -63,6 +64,69 @@ class PM(TruthInferenceMethod):
         extras = monitor.extras()
         extras["weights"] = weights
         return InferenceResult(posterior=posterior, extras=extras)
+
+
+class ShardedPM(ShardedTruthInference):
+    """Map-reduce iterative weighted voting.
+
+    The annotator-error update needs only the merged per-annotator
+    agreement sums and label counts; the weighted vote is per-instance and
+    runs shard-local under the global weights. Pinned to batch :class:`PM`
+    at atol 1e-10 by the equivalence harness across shard layouts.
+    """
+
+    name = "PM"
+
+    def __init__(
+        self, max_iterations: int = 50, tolerance: float = 1e-6, floor: float = 1e-3
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.floor = floor
+
+    def infer_sharded(self, shards, executor=None) -> InferenceResult:
+        source = as_shard_source(shards)
+
+        def init_map(shard):
+            block = majority_vote_posterior(shard)
+            return block, ShardStats(
+                agreement=annotator_agreement(block, shard),
+                label_counts=np.asarray(
+                    shard.annotations_per_annotator(), dtype=np.float64
+                ),
+                **shard_base_stats(shard),
+            )
+
+        _, K, blocks, stats = self._initial_pass(source, executor, init_map)
+        self._require_annotated(stats)
+        num_shards = len(blocks)
+        observations = stats.observations
+        counts = np.maximum(stats.label_counts, 1)
+        monitor = ConvergenceMonitor(self.tolerance, self.max_iterations)
+
+        while True:
+            # Global weight update from the merged agreement sums.
+            error = 1.0 - stats.agreement / counts
+            error = np.clip(error, self.floor, 1.0 - self.floor)
+            weights = -np.log(error)
+
+            def vote_map(shard, old_block):
+                scores = np.maximum(weighted_vote_scores(weights, shard), 0.0)
+                block = normalize_vote_scores(scores)
+                return block, ShardStats(
+                    agreement=annotator_agreement(block, shard),
+                    delta=float(np.abs(block - old_block).max(initial=0.0)),
+                )
+
+            blocks, stats = self._pass(source, blocks, executor, vote_map)
+            if monitor.step(stats.delta):
+                break
+
+        extras = monitor.extras()
+        extras.update(weights=weights, shards=num_shards, observations=observations)
+        return InferenceResult(posterior=self._concat(blocks, K), extras=extras)
 
 
 def pm_reference(

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..crowd.sharding import CrowdShard, SequenceCrowdShard, SparseLabelShard
 from ..crowd.types import CrowdLabelMatrix, SequenceCrowdLabels
 
 __all__ = [
@@ -52,18 +53,32 @@ __all__ = [
 
 
 def crowd_views(crowd) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, object]:
-    """Uniform flat view of either crowd container.
+    """Uniform flat view of any crowd container or shard view.
 
     Returns ``(rows, annotators, labels, num_rows, incidence)`` where
-    ``rows`` indexes instances (:class:`CrowdLabelMatrix`) or stacked
-    tokens (:class:`SequenceCrowdLabels`), and ``incidence`` is the cached
-    sparse ``(num_rows, J·K)`` matrix or None without scipy.
+    ``rows`` indexes instances (:class:`CrowdLabelMatrix` and the
+    instance-level shards) or stacked tokens (:class:`SequenceCrowdLabels`
+    / :class:`~repro.crowd.sharding.SequenceCrowdShard`), and ``incidence``
+    is the cached sparse ``(num_rows, J·K)`` matrix or None (no scipy, or
+    a shard that opts out of building one).
+
+    Dispatch is structural beyond the built-in containers: any object
+    exposing the kernel-facing surface (``flat_labels`` +
+    ``token_label_incidence`` for token-level crowds, or
+    ``flat_label_pairs`` + ``num_instances`` + ``label_incidence`` for
+    instance-level ones, plus ``num_classes``/``num_annotators``)
+    qualifies — the shard protocol :mod:`repro.inference.sharding`
+    documents for user-defined out-of-core shards.
     """
-    if isinstance(crowd, SequenceCrowdLabels):
+    if isinstance(crowd, (SequenceCrowdLabels, SequenceCrowdShard)) or (
+        hasattr(crowd, "flat_labels") and hasattr(crowd, "token_label_incidence")
+    ):
         stacked, _ = crowd.flat_labels()
         rows, annotators, given = crowd.flat_label_pairs()
         return rows, annotators, given, stacked.shape[0], crowd.token_label_incidence()
-    if isinstance(crowd, CrowdLabelMatrix):
+    if isinstance(crowd, (CrowdLabelMatrix, CrowdShard, SparseLabelShard)) or (
+        hasattr(crowd, "flat_label_pairs") and hasattr(crowd, "label_incidence")
+    ):
         rows, annotators, given = crowd.flat_label_pairs()
         return rows, annotators, given, crowd.num_instances, crowd.label_incidence()
     raise TypeError(f"unsupported crowd container {type(crowd).__name__}")
@@ -85,11 +100,13 @@ def confusion_counts(posterior: np.ndarray, crowd) -> np.ndarray:
     if incidence is not None:
         summed = np.asarray(incidence.T @ posterior)          # (J·K, K)
     else:
+        # One flat bincount over (observation, class) keys instead of a
+        # Python loop of K bincounts on non-contiguous posterior columns.
         key = annotators * K + given
-        gathered = posterior[rows]
-        summed = np.empty((J * K, K))
-        for m in range(K):
-            summed[:, m] = np.bincount(key, weights=gathered[:, m], minlength=J * K)
+        keys = key[:, None] * K + np.arange(K)[None, :]
+        summed = np.bincount(
+            keys.ravel(), weights=posterior[rows].ravel(), minlength=J * K * K
+        ).reshape(J * K, K)
     # summed[(j, n), m] → counts[j, m, n]
     return summed.reshape(J, K, K).transpose(0, 2, 1)
 
@@ -112,9 +129,13 @@ def emission_log_likelihood(crowd, log_confusions: np.ndarray) -> np.ndarray:
         return np.asarray(incidence @ by_label)
     out = np.zeros((num_rows, K))
     if rows.size:
-        contrib = by_label[annotators * K + given]
-        for m in range(K):
-            out[:, m] = np.bincount(rows, weights=contrib[:, m], minlength=num_rows)
+        # Same flat-keys trick as confusion_counts: one bincount over
+        # (observation, class) pairs replaces K bincounts of column copies.
+        contrib = by_label[annotators * K + given]            # (n_obs, K)
+        keys = rows[:, None] * K + np.arange(K)[None, :]
+        out = np.bincount(
+            keys.ravel(), weights=contrib.ravel(), minlength=num_rows * K
+        ).reshape(num_rows, K)
     return out
 
 

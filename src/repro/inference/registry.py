@@ -20,7 +20,13 @@ Methods are registered under a *kind*:
   streaming`: batches of new instances are ingested via ``partial_fit``
   instead of a one-shot ``infer``, under the replay-equivalence contract
   documented there (no decay + ``fit_to_convergence`` reproduces the
-  kind-``"classification"`` method of the same name).
+  kind-``"classification"`` method of the same name);
+* ``"sharded"`` — map-reduce twins from :mod:`~repro.inference.sharding`:
+  ``infer_sharded(shard_source)`` runs the same EM on mergeable per-shard
+  sufficient statistics (in-memory shard views or lazily loaded
+  out-of-core shards), reproducing the kind-``"classification"`` method
+  of the same name at atol 1e-10 on any shard layout. Drive them through
+  :func:`~repro.inference.sharding.run_sharded`.
 
 Factories receive the caller's keyword overrides (e.g.
 ``get_method("HMM-Crowd", kind="sequence", max_iterations=15)``), so
@@ -33,19 +39,19 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .bsc_seq import BSCSeq
-from .catd import CATD
-from .dawid_skene import DawidSkene
-from .glad import GLAD
+from .catd import CATD, ShardedCATD
+from .dawid_skene import DawidSkene, ShardedDawidSkene
+from .glad import GLAD, ShardedGLAD
 from .hmm_crowd import HMMCrowd
-from .ibcc import IBCC
-from .majority_vote import MajorityVote
-from .pm import PM
+from .ibcc import IBCC, ShardedIBCC
+from .majority_vote import MajorityVote, ShardedMajorityVote
+from .pm import PM, ShardedPM
 from .sequence_utils import TokenLevelInference
 from .streaming import StreamingDawidSkene, StreamingGLAD, StreamingMajorityVote
 
 __all__ = ["MethodSpec", "register", "get_method", "available_methods", "build_method_table"]
 
-KINDS = ("classification", "sequence", "streaming")
+KINDS = ("classification", "sequence", "streaming", "sharded")
 
 
 @dataclass(frozen=True)
@@ -147,3 +153,10 @@ register("HMM-Crowd", "sequence", HMMCrowd, "HMM with crowd emissions")
 register("MV", "streaming", StreamingMajorityVote, "online majority voting")
 register("DS", "streaming", StreamingDawidSkene, "stepwise-EM Dawid–Skene")
 register("GLAD", "streaming", StreamingGLAD, "online GLAD (binary, SGD abilities)")
+
+register("MV", "sharded", ShardedMajorityVote, "map-reduce majority voting")
+register("DS", "sharded", ShardedDawidSkene, "map-reduce Dawid–Skene EM")
+register("IBCC", "sharded", ShardedIBCC, "map-reduce variational-Bayes IBCC")
+register("GLAD", "sharded", ShardedGLAD, "map-reduce GLAD (binary)")
+register("PM", "sharded", ShardedPM, "map-reduce iterative weighted voting")
+register("CATD", "sharded", ShardedCATD, "map-reduce confidence-aware truth discovery")

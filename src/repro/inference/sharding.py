@@ -1,0 +1,328 @@
+"""Shard-and-merge truth inference: map-reduce EM over crowd shards.
+
+The batch methods in this package hold one in-memory crowd per run; the
+streaming layer (PR 4) relaxed that over *time* (batches arrive, sufficient
+statistics update incrementally). This module relaxes it over *space*: a
+crowd is a collection of shards, every E/M round maps each shard to a
+:class:`ShardStats` of mergeable sufficient statistics with the same
+sparse-COO kernels the batch methods use (:mod:`repro.inference.primitives`),
+reduces with the associative :meth:`ShardStats.merge`, and runs one global
+closed-form M-step. Peak crowd-data memory is bounded by the largest shard
+(plus the O(I·K) posterior the caller asked for), and the map stage is
+embarrassingly parallel.
+
+**Shard sources.** Every sharded method accepts, in order of increasing
+externality:
+
+* a *sequence* of shards — e.g. the zero-copy views from
+  :meth:`~repro.crowd.types.CrowdLabelMatrix.shards` (in-memory sharding:
+  shard caches persist across passes, so repeated rounds cost no rebuild);
+* a zero-arg *callable* returning a fresh iterator of shards — the
+  out-of-core form: each EM round lazily loads, consumes, and drops one
+  shard at a time (e.g. :class:`~repro.crowd.sharding.SparseLabelShard`
+  blocks read from disk). The callable must yield the same shard partition
+  in the same order every pass — posterior blocks are carried by position;
+* a one-shot *iterator* — accepted for single-pass methods (majority
+  vote); iterative methods raise a clear error asking for one of the
+  re-iterable forms above.
+
+A "shard" is any object exposing the kernel-facing container surface (see
+:mod:`repro.crowd.sharding`): whole :class:`~repro.crowd.types.
+CrowdLabelMatrix` containers, :class:`~repro.crowd.sharding.CrowdShard`
+views, and :class:`~repro.crowd.sharding.SparseLabelShard` COO blocks all
+qualify. All shards must agree on the annotator axis and class count;
+their *active* annotators may overlap or be disjoint — statistics merge
+per annotator either way.
+
+**Parallel map.** ``infer_sharded(..., executor=...)`` accepts a
+``concurrent.futures``-style executor (``ThreadPoolExecutor`` is the
+intended hook — the mappers are closures over the current global
+parameters, which processes cannot pickle). Shards are submitted through
+a bounded in-flight window (2× the executor's worker count), so a lazy
+out-of-core source keeps its O(largest shard) memory bound even under
+the parallel map; results are consumed in submission order and the
+reduce happens on the caller's thread, so executor use never changes the
+result.
+
+**Equivalence contract.** Every method registered under the ``"sharded"``
+registry kind reproduces its batch twin (same name, kind
+``"classification"``) at atol 1e-10 — posterior, confusion matrices, and
+iteration count — on any shard layout: one shard, many, single-instance
+shards, empty shards interleaved. The randomized harness in
+``tests/inference/equivalence_harness.py`` pins this across seeded crowds
+and layouts, and its meta-test refuses future ``"sharded"`` registrations
+that do not name a batch reference. The only divergence from the batch
+twin is floating-point summation *grouping* (per-shard partial sums versus
+one global scatter), which is why the pin is atol and not bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .base import InferenceResult
+
+__all__ = [
+    "ShardStats",
+    "merge_shard_stats",
+    "shard_base_stats",
+    "as_shard_source",
+    "ShardedTruthInference",
+    "run_sharded",
+]
+
+
+def _merged_array(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
+    """Elementwise sum with None as the identity (no contribution)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + b
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Mergeable sufficient statistics of one shard under one model state.
+
+    Every aggregate a global M-step needs decomposes into a sum (or max)
+    of per-shard terms; this dataclass names the terms the sharded methods
+    use and :meth:`merge` combines them. ``ShardStats()`` is the identity;
+    ``merge`` is commutative (IEEE addition is) and associative up to
+    floating-point rounding — integer counts merge exactly. Array fields
+    default to None ("no contribution"), so stats from different pass
+    kinds (an E-pass carrying confusion counts, a gradient pass carrying
+    only ``grad_alpha``) merge without shape bookkeeping.
+
+    Fields
+    ------
+    instances / observations / unannotated:
+        Shard size, observed-label count, and how many of the shard's
+        instances carry no label at all (the batch methods refuse those;
+        the sharded twins must refuse identically).
+    confusion:
+        ``(J, K, K)`` soft confusion counts of the shard's posterior block
+        (DS/IBCC M-step numerator).
+    class_totals:
+        ``(K,)`` posterior column sums (DS prior / IBCC class counts).
+    vote_totals:
+        ``(K,)`` raw vote counts (majority-vote diagnostics).
+    agreement:
+        ``(J,)`` posterior-mass agreement sums (PM/CATD weight updates).
+    label_counts:
+        ``(J,)`` observed labels per annotator (normalizers, chi-square
+        degrees of freedom).
+    grad_alpha:
+        ``(J,)`` GLAD ability-gradient accumulator (summed raw residual
+        scatter; the driver divides by the merged ``label_counts``).
+    log_likelihood:
+        Shard's E-step log evidence (summed).
+    delta:
+        Max-abs posterior change on the shard (merged via max — the global
+        convergence criterion of every batch twin).
+    """
+
+    instances: int = 0
+    observations: int = 0
+    unannotated: int = 0
+    confusion: np.ndarray | None = None
+    class_totals: np.ndarray | None = None
+    vote_totals: np.ndarray | None = None
+    agreement: np.ndarray | None = None
+    label_counts: np.ndarray | None = None
+    grad_alpha: np.ndarray | None = None
+    log_likelihood: float = 0.0
+    delta: float = 0.0
+
+    def merge(self, other: "ShardStats") -> "ShardStats":
+        """Combine two shards' statistics (pure — operands untouched)."""
+        return ShardStats(
+            instances=self.instances + other.instances,
+            observations=self.observations + other.observations,
+            unannotated=self.unannotated + other.unannotated,
+            confusion=_merged_array(self.confusion, other.confusion),
+            class_totals=_merged_array(self.class_totals, other.class_totals),
+            vote_totals=_merged_array(self.vote_totals, other.vote_totals),
+            agreement=_merged_array(self.agreement, other.agreement),
+            label_counts=_merged_array(self.label_counts, other.label_counts),
+            grad_alpha=_merged_array(self.grad_alpha, other.grad_alpha),
+            log_likelihood=self.log_likelihood + other.log_likelihood,
+            delta=max(self.delta, other.delta),
+        )
+
+
+def merge_shard_stats(stats: Iterable[ShardStats]) -> ShardStats:
+    """Fold an iterable of stats left-to-right from the identity."""
+    merged = ShardStats()
+    for item in stats:
+        merged = merged.merge(item)
+    return merged
+
+
+def shard_base_stats(shard) -> dict:
+    """The size/coverage fields every mapper includes."""
+    per_instance = shard.annotations_per_instance()
+    return dict(
+        instances=shard.num_instances,
+        observations=int(per_instance.sum()),
+        unannotated=int((per_instance == 0).sum()),
+    )
+
+
+def as_shard_source(shards) -> Callable[[], Iterable]:
+    """Normalize a shard source into a fresh-iterable-per-pass callable.
+
+    See the module docstring for the three accepted forms. One-shot
+    iterators are handed out once; a second pass raises with instructions
+    to use a sequence or callable instead.
+    """
+    if callable(shards):
+        return shards
+    if isinstance(shards, Sequence):
+        return lambda: shards
+    if hasattr(shards, "__iter__"):
+        state = {"used": False}
+
+        def once():
+            if state["used"]:
+                raise ValueError(
+                    "shard source is a one-shot iterator but the method needs "
+                    "multiple passes over the shards; pass a sequence of shards "
+                    "(in-memory) or a zero-arg callable returning a fresh "
+                    "iterator per pass (out-of-core)"
+                )
+            state["used"] = True
+            return shards
+
+        return once
+    raise TypeError(
+        f"shard source must be a sequence, iterator, or callable, "
+        f"got {type(shards).__name__}"
+    )
+
+
+class ShardedTruthInference:
+    """Base class for the map-reduce twins of the batch methods.
+
+    Subclasses implement :meth:`infer_sharded` on top of the pass plumbing
+    here: :meth:`_initial_pass` discovers the (J, K) dimensions, runs the
+    first map, and merges; :meth:`_pass` re-pairs each shard with its
+    carried per-shard state (posterior blocks, GLAD difficulties) by
+    position and maps again. Merging happens incrementally as map results
+    arrive, so the reduce never holds more than two :class:`ShardStats`.
+    """
+
+    name = "sharded-base"
+
+    def infer_sharded(self, shards, executor=None) -> InferenceResult:
+        """Run inference over a shard source (see module docstring)."""
+        raise NotImplementedError
+
+    def infer(self, crowd, num_shards: int = 4, executor=None) -> InferenceResult:
+        """Convenience: shard an in-memory container and run."""
+        return self.infer_sharded(crowd.shards(num_shards), executor=executor)
+
+    # -- pass plumbing -------------------------------------------------- #
+    @staticmethod
+    def _map_results(fn, items, executor):
+        """Yield ``fn`` over ``items`` in order, optionally via an executor.
+
+        The parallel path submits through a bounded window rather than
+        ``executor.map`` (which drains the whole iterable up front): at
+        most ``2 × max_workers`` shards are in flight, so lazily loaded
+        out-of-core sources never materialize the full crowd. Results are
+        yielded in submission order.
+        """
+        if executor is None:
+            return (fn(item) for item in items)
+
+        def windowed():
+            from collections import deque
+
+            window = max(2 * getattr(executor, "_max_workers", 4), 2)
+            pending = deque()
+            for item in items:
+                pending.append(executor.submit(fn, item))
+                if len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+
+        return windowed()
+
+    def _initial_pass(self, source, executor, mapper):
+        """First map: returns ``(J, K, per-shard states, merged stats)``."""
+
+        def wrapped(shard):
+            state, stats = mapper(shard)
+            return shard.num_annotators, shard.num_classes, state, stats
+
+        states, merged, dims = [], ShardStats(), None
+        for J, K, state, stats in self._map_results(wrapped, source(), executor):
+            if dims is None:
+                dims = (J, K)
+            elif dims != (J, K):
+                raise ValueError(
+                    f"shards disagree on (annotators, classes): "
+                    f"{sorted({dims, (J, K)})}"
+                )
+            states.append(state)
+            merged = merged.merge(stats)
+        if dims is None:
+            raise ValueError("shard source yielded no shards")
+        return dims[0], dims[1], states, merged
+
+    def _pass(self, source, states, executor, mapper):
+        """One map over ``zip(shards, carried states)``; merged reduce."""
+
+        def wrapped(pair):
+            return mapper(*pair)
+
+        new_states, merged = [], ShardStats()
+        pairs = zip(source(), states, strict=True)
+        for state, stats in self._map_results(wrapped, pairs, executor):
+            new_states.append(state)
+            merged = merged.merge(stats)
+        return new_states, merged
+
+    @staticmethod
+    def _require_annotated(stats: ShardStats) -> None:
+        """Mirror the batch methods' refusal of label-free instances."""
+        if stats.unannotated:
+            raise ValueError(
+                f"{stats.unannotated} instances have no annotations at all"
+            )
+
+    @staticmethod
+    def _concat(blocks: list[np.ndarray], num_classes: int) -> np.ndarray:
+        if not blocks:
+            return np.zeros((0, num_classes))
+        return np.concatenate(blocks, axis=0)
+
+
+def run_sharded(method, shards, executor=None, **overrides) -> InferenceResult:
+    """Resolve and run a sharded truth-inference method over a shard source.
+
+    ``method`` is a registered ``"sharded"`` name (``"DS"``, ``"MV"``, ...;
+    constructor ``overrides`` are forwarded to the registry factory) or an
+    already-built :class:`ShardedTruthInference` instance. ``shards`` is
+    any source form :func:`as_shard_source` accepts; ``executor`` is the
+    optional map-stage hook (``concurrent.futures`` thread pools).
+    """
+    if isinstance(method, str):
+        from .registry import get_method  # import here: registry imports the method modules
+
+        method = get_method(method, kind="sharded", **overrides)
+    elif overrides:
+        raise TypeError(
+            "constructor overrides require a method name; got an instance "
+            f"of {type(method).__name__} plus overrides {sorted(overrides)}"
+        )
+    if not isinstance(method, ShardedTruthInference):
+        raise TypeError(
+            f"expected a sharded method name or instance, got {type(method).__name__}"
+        )
+    return method.infer_sharded(shards, executor=executor)

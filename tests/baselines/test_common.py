@@ -22,6 +22,7 @@ from repro.baselines.common import (
     predict_proba_batched,
     predict_sequence_proba_batched,
 )
+from repro.crowd.types import CrowdLabelMatrix
 from repro.models.mlp import MLPClassifier
 from repro.models.ner_crnn import NERTagger, NERTaggerConfig
 
@@ -102,3 +103,110 @@ class TestEmptyDatasetPrediction:
         proba = predict_proba_batched(_classifier(), tokens, lengths, batch_size=2)
         assert proba.shape == (5, 3)
         np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)
+
+
+class TestEmptyTrainingSet:
+    """PR 5 contract: an empty training set is a sequence of no-op epochs
+    (loss 0.0, zero optimizer steps), not an opaque ``batch_indices``
+    ValueError — extending PR 4's empty-dataset tolerance from the
+    prediction sweeps to the training entry points."""
+
+    def _empty_classification(self):
+        return (
+            np.zeros((0, 7), dtype=np.int64),   # tokens
+            np.zeros(0, dtype=np.int64),        # lengths
+            np.zeros(0, dtype=np.int64),        # hard targets
+        )
+
+    def test_fit_classifier_empty_train_is_noop(self):
+        from repro.baselines.common import fit_classifier
+
+        model = _classifier()
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        tokens, lengths, targets = self._empty_classification()
+        history = fit_classifier(
+            model, TrainerConfig(epochs=3), np.random.default_rng(0),
+            tokens, lengths, targets,
+        )
+        assert history["loss"] == [0.0, 0.0, 0.0]
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[key])
+
+    def test_fit_classifier_empty_train_with_dev_early_stops(self):
+        from repro.baselines.common import fit_classifier
+
+        model = _classifier()
+        rng = np.random.default_rng(1)
+        dev = (rng.integers(0, 30, size=(4, 7)), np.full(4, 7), rng.integers(0, 3, size=4))
+        tokens, lengths, targets = self._empty_classification()
+        history = fit_classifier(
+            model, TrainerConfig(epochs=20, patience=2), rng,
+            tokens, lengths, targets, dev=dev,
+        )
+        # The dev score never improves past epoch 1, so patience stops
+        # training; EarlyStopping tolerates the stream of no-op epochs.
+        assert len(history["loss"]) == 3  # 1 best + 2 bad epochs
+        assert np.isfinite(history["best_dev_score"])
+
+    def test_fit_tagger_empty_train_is_noop_and_keeps_finite_bias(self):
+        from repro.baselines.common import fit_tagger
+
+        model = _tagger()
+        history = fit_tagger(
+            model, TrainerConfig(epochs=2, optimizer="adam", learning_rate=1e-3),
+            np.random.default_rng(2),
+            np.zeros((0, 9), dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros((0, 9, 5)),
+        )
+        assert history["loss"] == [0.0, 0.0]
+        # The majority-prior bias init must be skipped (0/0 would be NaN).
+        for value in model.state_dict().values():
+            assert np.isfinite(value).all()
+
+    def test_epoch_runners_report_zero_loss_zero_steps(self):
+        from repro.baselines.common import (
+            build_optimizer,
+            run_classification_epoch,
+            run_sequence_epoch,
+        )
+
+        model = _classifier()
+        config = TrainerConfig()
+        optimizer, _ = build_optimizer(model.parameters(), config)
+        loss = run_classification_epoch(
+            model, optimizer,
+            np.zeros((0, 7), dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros((0, 3)), np.random.default_rng(3), config,
+        )
+        assert loss == 0.0
+        tagger = _tagger()
+        optimizer, _ = build_optimizer(tagger.parameters(), config)
+        loss = run_sequence_epoch(
+            tagger, optimizer,
+            np.zeros((0, 9), dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros((0, 9, 5)), np.random.default_rng(4), config,
+        )
+        assert loss == 0.0
+
+    def test_crowd_layer_empty_train_fits_without_error(self):
+        from repro.baselines.crowd_layer import CrowdLayerClassifier
+        from repro.data.datasets import TextClassificationDataset
+        from repro.data.vocab import Vocabulary
+
+        vocab = Vocabulary(["a"])
+        train = TextClassificationDataset(
+            tokens=np.zeros((0, 7), dtype=np.int64),
+            lengths=np.zeros(0, dtype=np.int64),
+            labels=np.zeros(0, dtype=np.int64),
+            vocab=vocab,
+            num_classes=3,
+            crowd=CrowdLabelMatrix(np.zeros((0, 4), dtype=np.int64), 3),
+        )
+        method = CrowdLayerClassifier(
+            _classifier(), "MW", TrainerConfig(epochs=2), np.random.default_rng(5),
+            pretrain_epochs=1,
+        )
+        history = method.fit(train)
+        assert history["loss"] == [0.0, 0.0]
+        assert method.train_proba_.shape == (0, 3)

@@ -134,3 +134,35 @@ class TestEarlyStoppingSequence:
         dev = ner_task.dev
         f1 = span_f1_score(dev.tags, trainer.predict_student(dev.tokens, dev.lengths)).f1
         assert f1 == pytest.approx(history["best_dev_score"], abs=1e-9)
+
+
+class TestEmptyTrainingSet:
+    def test_fit_on_empty_train_is_noop_epochs(self):
+        """PR 5 empty-training-set contract extended to the Logic-LNCL
+        entry point: zero sentences means no-op epochs (loss 0.0) and an
+        untouched (finite) output bias, not an opaque crash."""
+        from repro.crowd import SequenceCrowdLabels
+        from repro.data.datasets import SequenceTaggingDataset
+        from repro.data.vocab import Vocabulary
+
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(30, 8))
+        model = NERTagger(
+            embeddings,
+            NERTaggerConfig(conv_width=3, conv_features=8, gru_hidden=4),
+            rng,
+        )
+        train = SequenceTaggingDataset(
+            tokens=np.zeros((0, 7), dtype=np.int64),
+            lengths=np.zeros(0, dtype=np.int64),
+            tags=[],
+            vocab=Vocabulary(["a"]),
+            label_names=list(CONLL_LABELS),
+            crowd=SequenceCrowdLabels([], num_classes=9, num_annotators=3),
+        )
+        trainer = LogicLNCLSequenceTagger(model, _config(2), rng, rules=None)
+        history = trainer.fit(train)
+        assert history["loss"] == [0.0, 0.0]
+        assert trainer.qf_ == []
+        for value in model.state_dict().values():
+            assert np.isfinite(value).all()

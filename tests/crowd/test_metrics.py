@@ -1,0 +1,117 @@
+"""Annotator-report regression tests (PR 5 bugfixes).
+
+Three confirmed bugs pinned here:
+
+* zero-label annotators used to get ``quality = 0.0``, conflating "no
+  data" with "always wrong" and dragging the Fig. 4 quality boxplots
+  down — they now report NaN and are excluded from ``quality_stats``;
+* ``count_stats`` / ``quality_stats`` used to crash with a bare
+  "cannot summarize an empty array" when no annotator passed
+  ``min_labels`` (or the crowd was empty) — the error now names the
+  threshold and the crowd;
+* ``top_annotators`` used ``np.argsort`` with the default unstable sort,
+  so tied annotator volumes could reorder across platforms — the sort is
+  now stable and tie order is pinned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    CrowdLabelMatrix,
+    MISSING,
+    SequenceCrowdLabels,
+    classification_annotator_report,
+    sequence_annotator_report,
+)
+
+M = MISSING
+
+
+def _crowd_with_idle_annotator():
+    # Annotator 2 never labels; annotator 1 labels and is always wrong.
+    labels = np.array(
+        [
+            [0, 1, M],
+            [1, 0, M],
+            [0, 1, M],
+            [1, 0, M],
+        ]
+    )
+    truth = np.array([0, 1, 0, 1])
+    return CrowdLabelMatrix(labels, 2), truth
+
+
+class TestZeroLabelAnnotators:
+    def test_idle_annotator_reports_nan_not_zero(self):
+        crowd, truth = _crowd_with_idle_annotator()
+        report = classification_annotator_report(crowd, truth)
+        assert np.isnan(report.quality[2])  # no data
+        assert report.quality[1] == 0.0     # labeled, always wrong — distinct
+        assert report.quality[0] == 1.0
+
+    def test_idle_annotator_excluded_from_quality_stats(self):
+        crowd, truth = _crowd_with_idle_annotator()
+        report = classification_annotator_report(crowd, truth)
+        # Even at min_labels=0 the NaN must not leak into the summary.
+        for min_labels in (0, 1):
+            stats = report.quality_stats(min_labels=min_labels)
+            assert np.isfinite([stats.minimum, stats.mean, stats.maximum]).all()
+            assert stats.minimum == 0.0 and stats.maximum == 1.0
+
+    def test_sequence_idle_annotator_reports_nan(self):
+        sentences = [
+            np.array([[0, M], [1, M]]),
+            np.array([[1, M], [0, M]]),
+        ]
+        crowd = SequenceCrowdLabels(sentences, 2, 2)
+        truth = [np.array([0, 1]), np.array([1, 0])]
+        report = sequence_annotator_report(crowd, truth, labels=["O", "B-X"])
+        assert np.isnan(report.quality[1])
+        assert np.isfinite(report.quality[0])
+
+
+class TestEmptySelectionErrors:
+    def test_count_stats_names_min_labels_and_crowd(self):
+        crowd, truth = _crowd_with_idle_annotator()
+        report = classification_annotator_report(crowd, truth)
+        with pytest.raises(ValueError, match=r"min_labels=9.*3 annotators.*labeled 4"):
+            report.count_stats(min_labels=9)
+
+    def test_quality_stats_names_min_labels_and_crowd(self):
+        crowd, truth = _crowd_with_idle_annotator()
+        report = classification_annotator_report(crowd, truth)
+        with pytest.raises(ValueError, match="min_labels=9"):
+            report.quality_stats(min_labels=9)
+
+    def test_empty_crowd_reports_busiest_zero(self):
+        crowd = CrowdLabelMatrix(np.full((0, 3), M, dtype=np.int64), 2)
+        report = classification_annotator_report(crowd, np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError, match="busiest.*labeled 0"):
+            report.count_stats()
+
+    def test_passing_selection_unchanged(self):
+        crowd, truth = _crowd_with_idle_annotator()
+        report = classification_annotator_report(crowd, truth)
+        stats = report.count_stats(min_labels=1)
+        assert stats.minimum == 4.0 and stats.maximum == 4.0
+
+
+class TestTopAnnotatorsTieOrder:
+    def test_ties_keep_ascending_annotator_order(self):
+        report = classification_annotator_report(
+            CrowdLabelMatrix(np.full((0, 4), M, dtype=np.int64), 2),
+            np.zeros(0, dtype=np.int64),
+        )
+        # Overwrite counts directly: volumes [5, 7, 5, 7] have two ties.
+        report.counts = np.array([5, 7, 5, 7])
+        np.testing.assert_array_equal(report.top_annotators(4), [1, 3, 0, 2])
+        np.testing.assert_array_equal(report.top_annotators(2), [1, 3])
+
+    def test_all_tied_is_identity_order(self):
+        report = classification_annotator_report(
+            CrowdLabelMatrix(np.full((0, 5), M, dtype=np.int64), 2),
+            np.zeros(0, dtype=np.int64),
+        )
+        report.counts = np.full(5, 3)
+        np.testing.assert_array_equal(report.top_annotators(5), np.arange(5))

@@ -253,3 +253,159 @@ class TestSequenceCrowdLabelsAppend:
             crowd.append_labels([np.array([[0, M], [M, M]])])  # partial column
         with pytest.raises(ValueError):
             crowd.append_labels([np.array([[9, 0]])])  # out of range
+
+
+def _random_matrix_crowd(seed: int, instances: int, annotators: int, classes: int):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=(instances, annotators))
+    labels[rng.random(labels.shape) < 0.6] = M
+    return CrowdLabelMatrix(labels, classes)
+
+
+def _random_sequence_crowd(seed: int, sentences: int, annotators: int, classes: int):
+    rng = np.random.default_rng(seed)
+    matrices = []
+    for _ in range(sentences):
+        t = int(rng.integers(1, 8))
+        matrix = np.full((t, annotators), M, dtype=np.int64)
+        for j in rng.choice(annotators, size=2, replace=False):
+            matrix[:, j] = rng.integers(0, classes, size=t)
+        matrices.append(matrix)
+    return SequenceCrowdLabels(matrices, classes, annotators)
+
+
+class TestCrowdShards:
+    """The zero-copy shard views of CrowdLabelMatrix (PR 5 data layer)."""
+
+    def test_partition_covers_crowd_in_order(self):
+        crowd = _random_matrix_crowd(0, 23, 6, 3)
+        shards = crowd.shards(4)
+        assert [s.num_instances for s in shards] == [6, 6, 6, 5]
+        rebuilt = np.concatenate([s.labels for s in shards], axis=0)
+        np.testing.assert_array_equal(rebuilt, crowd.labels)
+
+    def test_views_match_subset_containers(self):
+        crowd = _random_matrix_crowd(1, 30, 5, 4)
+        start = 0
+        for shard in crowd.shards(3):
+            subset = crowd.subset(np.arange(start, start + shard.num_instances))
+            np.testing.assert_array_equal(shard.labels, subset.labels)
+            np.testing.assert_array_equal(shard.vote_counts(), subset.vote_counts())
+            np.testing.assert_array_equal(shard.observed_mask, subset.observed_mask)
+            np.testing.assert_array_equal(
+                shard.annotations_per_instance(), subset.annotations_per_instance()
+            )
+            np.testing.assert_array_equal(
+                shard.annotations_per_annotator(), subset.annotations_per_annotator()
+            )
+            assert shard.total_annotations() == subset.total_annotations()
+            for mine, theirs in zip(shard.flat_label_pairs(), subset.flat_label_pairs()):
+                np.testing.assert_array_equal(mine, theirs)
+            incidence = shard.label_incidence()
+            if incidence is not None:
+                np.testing.assert_array_equal(
+                    incidence.toarray(), subset.label_incidence().toarray()
+                )
+            start += shard.num_instances
+
+    def test_views_share_parent_cache_memory(self):
+        crowd = _random_matrix_crowd(2, 20, 5, 3)
+        shard = crowd.shards(2)[1]
+        # Label block and vote counts are row slices of the parent arrays.
+        assert np.shares_memory(shard.labels, crowd.labels)
+        assert np.shares_memory(shard.vote_counts(), crowd.vote_counts())
+        # Annotator/label columns of the COO triples are parent slices;
+        # only the localized row index is fresh memory.
+        _, annotators, given = shard.flat_label_pairs()
+        _, parent_annotators, parent_given = crowd.flat_label_pairs()
+        assert np.shares_memory(annotators, parent_annotators)
+        assert np.shares_memory(given, parent_given)
+
+    def test_oversized_shard_count_yields_empty_shards(self):
+        crowd = _random_matrix_crowd(3, 4, 3, 2)
+        shards = crowd.shards(7)
+        assert [s.num_instances for s in shards] == [1, 1, 1, 1, 0, 0, 0]
+        empty = shards[-1]
+        assert empty.num_annotators == 3 and empty.num_classes == 2
+        assert empty.total_annotations() == 0
+        rows, annotators, given = empty.flat_label_pairs()
+        assert rows.size == annotators.size == given.size == 0
+
+    def test_iter_shards_respects_observation_budget(self):
+        crowd = _random_matrix_crowd(4, 40, 8, 3)
+        per_instance = crowd.annotations_per_instance()
+        shards = list(crowd.iter_shards(10))
+        assert sum(s.num_instances for s in shards) == crowd.num_instances
+        for shard in shards:
+            obs = shard.total_annotations()
+            assert obs <= 10 or shard.num_instances == 1
+        # Greedy packing: every shard but the last would overflow by
+        # adding its successor's first instance.
+        starts = np.cumsum([0] + [s.num_instances for s in shards])
+        for index in range(len(shards) - 1):
+            next_first = per_instance[starts[index + 1]]
+            assert shards[index].total_annotations() + next_first > 10
+
+    def test_iter_shards_on_empty_crowd_yields_one_empty_shard(self):
+        crowd = CrowdLabelMatrix(np.zeros((0, 4), dtype=np.int64), 2)
+        shards = list(crowd.iter_shards(5))
+        assert len(shards) == 1 and shards[0].num_instances == 0
+
+    def test_invalid_arguments_rejected(self):
+        crowd = _random_matrix_crowd(5, 6, 3, 2)
+        with pytest.raises(ValueError):
+            crowd.shards(0)
+        with pytest.raises(ValueError):
+            list(crowd.iter_shards(0))
+        from repro.crowd import CrowdShard
+
+        with pytest.raises(ValueError):
+            CrowdShard(crowd, 4, 9)
+
+
+class TestSequenceCrowdShards:
+    def test_views_match_subset_containers(self):
+        crowd = _random_sequence_crowd(6, 13, 5, 4)
+        start = 0
+        for shard in crowd.shards(3):
+            subset = crowd.subset(np.arange(start, start + shard.num_instances))
+            stacked, offsets = shard.flat_labels()
+            sub_stacked, sub_offsets = subset.flat_labels()
+            np.testing.assert_array_equal(stacked, sub_stacked)
+            np.testing.assert_array_equal(offsets, sub_offsets)
+            for mine, theirs in zip(shard.flat_label_pairs(), subset.flat_label_pairs()):
+                np.testing.assert_array_equal(mine, theirs)
+            np.testing.assert_array_equal(shard.annotator_mask(), subset.annotator_mask())
+            np.testing.assert_array_equal(
+                shard.token_vote_counts_flat(), subset.token_vote_counts_flat()
+            )
+            incidence = shard.token_label_incidence()
+            if incidence is not None:
+                np.testing.assert_array_equal(
+                    incidence.toarray(), subset.token_label_incidence().toarray()
+                )
+            start += shard.num_instances
+
+    def test_primitives_run_on_sequence_shards(self):
+        from repro.inference.primitives import confusion_counts
+
+        crowd = _random_sequence_crowd(7, 9, 4, 3)
+        rng = np.random.default_rng(8)
+        start = 0
+        for shard in crowd.shards(2):
+            subset = crowd.subset(np.arange(start, start + shard.num_instances))
+            stacked, _ = shard.flat_labels()
+            posterior = rng.dirichlet(np.ones(3), size=stacked.shape[0])
+            np.testing.assert_allclose(
+                confusion_counts(posterior, shard),
+                confusion_counts(posterior, subset),
+                atol=1e-12, rtol=0,
+            )
+            start += shard.num_instances
+
+    def test_iter_shards_budgets_token_observations(self):
+        crowd = _random_sequence_crowd(9, 12, 5, 3)
+        shards = list(crowd.iter_shards(30))
+        assert sum(s.num_instances for s in shards) == crowd.num_instances
+        for shard in shards:
+            assert shard.total_annotations() <= 30 or shard.num_instances == 1

@@ -123,9 +123,16 @@ class TestBatchIndices:
         joined = np.concatenate(list(batch_indices(10, 4, rng=rng)))
         np.testing.assert_array_equal(np.sort(joined), np.arange(10))
 
+    def test_empty_dataset_yields_no_batches(self):
+        # The empty-dataset contract: zero instances is a no-op epoch
+        # (callers see zero batches), not an opaque ValueError.
+        assert list(batch_indices(0, 3, shuffle=False)) == []
+        rng = np.random.default_rng(0)
+        assert list(batch_indices(0, 3, rng=rng)) == []
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            list(batch_indices(0, 3, shuffle=False))
+            list(batch_indices(-1, 3, shuffle=False))
         with pytest.raises(ValueError):
             list(batch_indices(5, 0, shuffle=False))
 

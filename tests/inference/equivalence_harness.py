@@ -34,6 +34,15 @@ pins the replay-equivalence contract of :mod:`repro.inference.streaming`
 decay disabled, then ``fit_to_convergence()``, must reproduce the batch
 posterior at atol 1e-8. The meta-test covers this kind too, so a future
 streaming variant cannot register without shipping its batch reference.
+
+Sharded methods (kind ``"sharded"``, :mod:`repro.inference.sharding`)
+follow the tightest contract of all: their reference is the batch twin of
+the same name, and :func:`assert_sharded_matches_batch` pins posterior,
+confusions, iteration count, and method extras (weights/α/β) at atol
+1e-10 on every layout in :data:`SHARD_LAYOUTS` — one shard, 2, 7,
+one-instance shards, layouts padded with empty shards, a lazily consumed
+out-of-core generator of standalone COO shards, and an
+``iter_shards``-budgeted split. The meta-test covers this kind too.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ from repro.inference import (
     pm_reference,
 )
 from repro.inference.sequence_utils import flatten_sequence_crowd
+from repro.inference.sharding import run_sharded
 
 __all__ = [
     "CrowdCase",
@@ -67,10 +77,12 @@ __all__ = [
     "random_batch_sizes",
     "REFERENCE_IMPLEMENTATIONS",
     "METHOD_OVERRIDES",
+    "SHARD_LAYOUTS",
     "method_supports",
     "assert_matches_reference",
     "assert_degenerate_ok",
     "assert_streaming_replay_matches",
+    "assert_sharded_matches_batch",
 ]
 
 
@@ -266,6 +278,14 @@ REFERENCE_IMPLEMENTATIONS: dict[tuple[str, str], Callable] = {
     ("streaming", "MV"): _batch_at_convergence("MV"),
     ("streaming", "DS"): _batch_at_convergence("DS"),
     ("streaming", "GLAD"): _batch_at_convergence("GLAD"),
+    # Sharded twins: the reference is the batch method itself — any shard
+    # layout must reproduce it at atol 1e-10.
+    ("sharded", "MV"): _batch_at_convergence("MV"),
+    ("sharded", "DS"): _batch_at_convergence("DS"),
+    ("sharded", "IBCC"): _batch_at_convergence("IBCC"),
+    ("sharded", "GLAD"): _batch_at_convergence("GLAD"),
+    ("sharded", "PM"): _batch_at_convergence("PM"),
+    ("sharded", "CATD"): _batch_at_convergence("CATD"),
 }
 
 # Constructor keywords applied to BOTH sides of a comparison (keeps the
@@ -275,6 +295,13 @@ METHOD_OVERRIDES: dict[tuple[str, str], dict] = {
     ("sequence", "BSC-seq"): {"max_iterations": 10},
     ("sequence", "HMM-Crowd"): {"max_iterations": 10},
     ("streaming", "GLAD"): {"em_iterations": 15, "gradient_steps": 15},
+    # Single-instance-shard layouts multiply the per-pass Python cost by
+    # I; smaller (shared) budgets keep the sweep fast without loosening
+    # the pin — both sides run the same budget and the iteration counts
+    # are still compared.
+    ("sharded", "GLAD"): {"em_iterations": 6, "gradient_steps": 6},
+    ("sharded", "DS"): {"max_iterations": 25},
+    ("sharded", "IBCC"): {"max_iterations": 25},
 }
 
 
@@ -390,6 +417,68 @@ def assert_streaming_replay_matches(name: str, crowd, seed: int, atol: float = 1
         )
     if "iterations" in expected.extras:
         assert replay.extras.get("iterations") == expected.extras["iterations"], context
+
+
+def _out_of_core_source(crowd: CrowdLabelMatrix, num_shards: int):
+    """Callable yielding standalone COO shards lazily, one per iteration —
+    the out-of-core form: nothing references the parent container."""
+
+    def source():
+        for shard in crowd.shards(num_shards):
+            yield shard.to_sparse()
+
+    return source
+
+
+# name → (crowd → shard source): the layout axis of the sharded contract.
+# Covers the shard counts the tentpole names (1, 2, 7, one-instance,
+# empty shards) plus both lazy source forms.
+SHARD_LAYOUTS: dict[str, Callable] = {
+    "one-shard": lambda crowd: crowd.shards(1),
+    "two-shards": lambda crowd: crowd.shards(2),
+    "seven-shards": lambda crowd: crowd.shards(7),
+    "single-instance-shards": lambda crowd: crowd.shards(max(crowd.num_instances, 1)),
+    # array_split semantics pad the tail with empty shards when n > I.
+    "with-empty-shards": lambda crowd: crowd.shards(crowd.num_instances + 3),
+    "out-of-core-generator": lambda crowd: _out_of_core_source(crowd, 5),
+    "observation-budgeted": lambda crowd: (lambda: crowd.iter_shards(16)),
+}
+
+
+def assert_sharded_matches_batch(
+    name: str, crowd, make_source: Callable, atol: float = 1e-10
+) -> None:
+    """Pin one sharded method to its batch twin on one crowd and layout.
+
+    Compares the posterior, confusion matrices (when both model them), the
+    iteration count, and the per-annotator / per-instance extras the
+    method family reports (weights, α, β) — convergence behaviour and the
+    annotator model are part of the contract, not just the posterior.
+    """
+    params = METHOD_OVERRIDES.get(("sharded", name), {})
+    expected = get_method(name, kind="classification", **params).infer(crowd)
+    result = run_sharded(name, make_source(crowd), **params)
+    context = f"method={name} kind=sharded"
+    np.testing.assert_allclose(
+        result.posterior, expected.posterior, atol=atol, rtol=0,
+        err_msg=f"posterior diverged from batch twin ({context})",
+    )
+    if result.confusions is not None and expected.confusions is not None:
+        np.testing.assert_allclose(
+            result.confusions, expected.confusions, atol=atol, rtol=0,
+            err_msg=f"confusions diverged from batch twin ({context})",
+        )
+    if "iterations" in expected.extras:
+        assert result.extras.get("iterations") == expected.extras["iterations"], (
+            f"iteration count diverged ({context}): "
+            f"{result.extras.get('iterations')} != {expected.extras['iterations']}"
+        )
+    for key in ("weights", "alpha", "beta"):
+        if key in expected.extras and key in result.extras:
+            np.testing.assert_allclose(
+                result.extras[key], expected.extras[key], atol=atol, rtol=0,
+                err_msg=f"extras[{key!r}] diverged from batch twin ({context})",
+            )
 
 
 def assert_degenerate_ok(name: str, kind: str, crowd) -> None:

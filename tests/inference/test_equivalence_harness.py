@@ -8,15 +8,17 @@ from repro.inference import available_methods
 
 from .equivalence_harness import (
     REFERENCE_IMPLEMENTATIONS,
+    SHARD_LAYOUTS,
     assert_degenerate_ok,
     assert_matches_reference,
+    assert_sharded_matches_batch,
     assert_streaming_replay_matches,
     crowd_cases,
     method_supports,
 )
 
 KINDS = ("classification", "sequence")
-ALL_KINDS = KINDS + ("streaming",)
+ALL_KINDS = KINDS + ("streaming", "sharded")
 
 
 def _matrix(reference_comparable: bool):
@@ -67,6 +69,32 @@ def test_streaming_replay_matches_batch_at_convergence(name, case):
     if not method_supports(name, "streaming", crowd):
         pytest.skip(f"{name} does not apply to {case.name}")
     assert_streaming_replay_matches(name, crowd, seed=101, atol=1e-8)
+
+
+def _sharded_matrix():
+    """(method name, case, layout) triples: every sharded method × every
+    classification crowd (incl. degenerate ones — the batch twins handle
+    I = 0 since PR 3) × every shard layout."""
+    triples = []
+    for case in crowd_cases("classification"):
+        for name in available_methods("sharded"):
+            for layout in SHARD_LAYOUTS:
+                triples.append(
+                    pytest.param(name, case, layout, id=f"sharded-{name}-{case.name}-{layout}")
+                )
+    return triples
+
+
+@pytest.mark.parametrize("name,case,layout", _sharded_matrix())
+def test_sharded_matches_batch_across_layouts(name, case, layout):
+    """The tentpole contract: any shard layout — one shard, many,
+    one-instance shards, empty shards, lazy out-of-core sources —
+    reproduces the batch twin at atol 1e-10 (posterior, confusions,
+    iteration count, annotator-model extras)."""
+    crowd = case.build()
+    if not method_supports(name, "sharded", crowd):
+        pytest.skip(f"{name} does not apply to {case.name}")
+    assert_sharded_matches_batch(name, crowd, SHARD_LAYOUTS[layout], atol=1e-10)
 
 
 def test_every_registered_method_has_a_reference():

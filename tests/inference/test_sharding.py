@@ -1,0 +1,375 @@
+"""Shard-and-merge layer tests: ShardStats algebra, degenerate shard
+layouts, shard sources, the run_sharded driver, and the executor hook.
+
+The full method × crowd × layout equivalence sweep lives in
+``test_equivalence_harness.py``; this file covers the merge primitive and
+the plumbing the sweep rides on.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.crowd.sharding import SparseLabelShard
+from repro.crowd.types import MISSING, CrowdLabelMatrix
+from repro.inference import (
+    ShardedDawidSkene,
+    ShardedMajorityVote,
+    ShardStats,
+    get_method,
+    merge_shard_stats,
+    run_sharded,
+)
+from repro.inference.majority_vote import majority_vote_posterior
+from repro.inference.primitives import confusion_counts
+from repro.inference.sharding import as_shard_source, shard_base_stats
+
+from .equivalence_harness import random_classification_crowd
+
+
+def _stats_from(shard) -> ShardStats:
+    """A representative, fully populated ShardStats from a shard's MV
+    posterior — the same fields the method mappers fill."""
+    block = majority_vote_posterior(shard)
+    return ShardStats(
+        confusion=confusion_counts(block, shard),
+        class_totals=block.sum(axis=0),
+        agreement=block.sum(axis=0)[:1].repeat(shard.num_annotators),
+        label_counts=np.asarray(shard.annotations_per_annotator(), dtype=np.float64),
+        log_likelihood=float(block.sum()),
+        delta=float(block.max(initial=0.0)),
+        **shard_base_stats(shard),
+    )
+
+
+@pytest.fixture(scope="module")
+def crowd():
+    return random_classification_crowd(3, instances=90, annotators=9, classes=3)
+
+
+class TestShardStatsMerge:
+    def test_identity(self, crowd):
+        stats = _stats_from(crowd.shards(1)[0])
+        for merged in (ShardStats().merge(stats), stats.merge(ShardStats())):
+            assert merged.instances == stats.instances
+            assert merged.observations == stats.observations
+            np.testing.assert_array_equal(merged.confusion, stats.confusion)
+            np.testing.assert_array_equal(merged.class_totals, stats.class_totals)
+            assert merged.delta == stats.delta
+            assert merged.log_likelihood == stats.log_likelihood
+
+    def test_commutative_exactly(self, crowd):
+        a, b = (_stats_from(shard) for shard in crowd.shards(2))
+        ab, ba = a.merge(b), b.merge(a)
+        # IEEE addition is commutative, so this holds bit-for-bit.
+        np.testing.assert_array_equal(ab.confusion, ba.confusion)
+        np.testing.assert_array_equal(ab.class_totals, ba.class_totals)
+        np.testing.assert_array_equal(ab.label_counts, ba.label_counts)
+        assert ab.instances == ba.instances
+        assert ab.delta == ba.delta
+
+    def test_associative_to_rounding(self, crowd):
+        a, b, c = (_stats_from(shard) for shard in crowd.shards(3))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        np.testing.assert_allclose(left.confusion, right.confusion, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(left.class_totals, right.class_totals, atol=1e-12, rtol=0)
+        # Integer fields merge exactly regardless of grouping.
+        assert left.instances == right.instances
+        assert left.observations == right.observations
+        np.testing.assert_array_equal(left.label_counts, right.label_counts)
+        assert left.delta == right.delta
+
+    def test_delta_merges_via_max(self):
+        merged = ShardStats(delta=0.25).merge(ShardStats(delta=0.75))
+        assert merged.delta == 0.75
+
+    def test_disjoint_fields_merge_without_shape_bookkeeping(self):
+        # An E-pass stat (confusion) and a gradient-pass stat (grad_alpha)
+        # merge: None is the identity per field.
+        a = ShardStats(confusion=np.ones((2, 3, 3)))
+        b = ShardStats(grad_alpha=np.ones(2))
+        merged = a.merge(b)
+        np.testing.assert_array_equal(merged.confusion, a.confusion)
+        np.testing.assert_array_equal(merged.grad_alpha, b.grad_alpha)
+        assert merged.class_totals is None
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7, 90, 97])
+    def test_shard_count_invariance(self, crowd, num_shards):
+        """Merging per-shard statistics reproduces the whole-crowd
+        statistics for any shard count (incl. one-instance and empty
+        shards) — the associativity property the map-reduce EM rests on."""
+        whole = _stats_from(crowd.shards(1)[0])
+        merged = merge_shard_stats(
+            _stats_from(shard) for shard in crowd.shards(num_shards)
+        )
+        assert merged.instances == whole.instances
+        assert merged.observations == whole.observations
+        np.testing.assert_array_equal(merged.label_counts, whole.label_counts)
+        np.testing.assert_allclose(merged.confusion, whole.confusion, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(
+            merged.class_totals, whole.class_totals, atol=1e-12, rtol=0
+        )
+
+
+class TestDegenerateShardLayouts:
+    def test_empty_shards_interleaved(self, crowd):
+        """Empty shards anywhere in the stream contribute nothing."""
+        expected = get_method("DS", kind="classification").infer(crowd)
+        pieces = crowd.shards(3)
+        empty = SparseLabelShard(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            num_instances=0, num_annotators=crowd.num_annotators,
+            num_classes=crowd.num_classes,
+        )
+        layout = [empty, pieces[0], empty, pieces[1], pieces[2], empty]
+        result = run_sharded("DS", layout)
+        np.testing.assert_allclose(result.posterior, expected.posterior, atol=1e-10, rtol=0)
+        assert result.extras["iterations"] == expected.extras["iterations"]
+        assert result.extras["shards"] == len(layout)
+
+    def test_disjoint_annotator_sets(self):
+        """Shards whose active annotators do not overlap still merge: the
+        annotator axis is global, per-shard statistics are zero for absent
+        annotators."""
+        rng = np.random.default_rng(11)
+        J, K = 10, 3
+        labels = np.full((80, J), MISSING, dtype=np.int64)
+        truth = rng.integers(0, K, size=80)
+        for i in range(80):
+            # First half of the instances only sees annotators 0-4,
+            # second half only 5-9.
+            pool = np.arange(5) if i < 40 else np.arange(5, 10)
+            chosen = rng.choice(pool, size=3, replace=False)
+            noisy = np.where(
+                rng.random(3) < 0.75, truth[i], rng.integers(0, K, size=3)
+            )
+            labels[i, chosen] = noisy
+        crowd = CrowdLabelMatrix(labels, K)
+        shards = crowd.shards(2)
+        front = shards[0].annotations_per_annotator()
+        back = shards[1].annotations_per_annotator()
+        assert (front[5:] == 0).all() and (back[:5] == 0).all()  # really disjoint
+        for name in ("DS", "PM", "CATD"):
+            expected = get_method(name, kind="classification").infer(crowd)
+            result = run_sharded(name, shards)
+            np.testing.assert_allclose(
+                result.posterior, expected.posterior, atol=1e-10, rtol=0,
+                err_msg=f"{name} diverged on disjoint-annotator shards",
+            )
+
+    def test_single_instance_shards(self, crowd):
+        expected = get_method("PM", kind="classification").infer(crowd)
+        result = run_sharded("PM", crowd.shards(crowd.num_instances))
+        np.testing.assert_allclose(result.posterior, expected.posterior, atol=1e-10, rtol=0)
+
+    def test_empty_crowd_single_empty_shard(self):
+        empty = CrowdLabelMatrix(np.zeros((0, 4), dtype=np.int64), 2)
+        result = run_sharded("DS", empty.shards(1))
+        assert result.posterior.shape == (0, 2)
+        assert result.confusions.shape == (4, 2, 2)
+        assert np.isfinite(result.confusions).all()
+
+
+class TestShardSources:
+    def test_one_shot_iterator_ok_for_single_pass_mv(self, crowd):
+        result = run_sharded("MV", iter(crowd.shards(4)))
+        np.testing.assert_allclose(
+            result.posterior, majority_vote_posterior(crowd), atol=1e-12, rtol=0
+        )
+
+    def test_one_shot_iterator_rejected_for_multi_pass_methods(self, crowd):
+        with pytest.raises(ValueError, match="one-shot iterator"):
+            run_sharded("DS", iter(crowd.shards(4)))
+
+    def test_callable_source_re_invoked_per_pass(self, crowd):
+        passes = {"count": 0}
+
+        def source():
+            passes["count"] += 1
+            return iter(crowd.shards(3))
+
+        result = run_sharded("DS", source, max_iterations=5, tolerance=0.0)
+        # init pass + one pass per EM round
+        assert passes["count"] == 6
+        assert result.extras["iterations"] == 5
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError, match="no shards"):
+            run_sharded("MV", [])
+
+    def test_mismatched_shard_dimensions_rejected(self, crowd):
+        other = CrowdLabelMatrix(np.zeros((3, crowd.num_annotators + 1), dtype=np.int64), 2)
+        with pytest.raises(ValueError, match="disagree"):
+            run_sharded("MV", [crowd.shards(1)[0], other])
+
+    def test_unsupported_source_type_rejected(self):
+        with pytest.raises(TypeError, match="shard source"):
+            as_shard_source(42)
+
+
+class TestRunShardedDriver:
+    def test_resolves_names_and_forwards_overrides(self, crowd):
+        result = run_sharded("DS", crowd.shards(2), max_iterations=3, tolerance=0.0)
+        assert result.extras["iterations"] == 3
+
+    def test_accepts_instances(self, crowd):
+        method = ShardedDawidSkene(max_iterations=3, tolerance=0.0)
+        result = run_sharded(method, crowd.shards(2))
+        assert result.extras["iterations"] == 3
+
+    def test_instance_plus_overrides_rejected(self, crowd):
+        with pytest.raises(TypeError, match="overrides"):
+            run_sharded(ShardedMajorityVote(), crowd.shards(2), max_iterations=3)
+
+    def test_non_sharded_method_rejected(self, crowd):
+        with pytest.raises(TypeError, match="sharded"):
+            run_sharded(get_method("DS", kind="classification"), crowd.shards(2))
+
+    def test_unknown_name_raises_keyerror(self, crowd):
+        with pytest.raises(KeyError):
+            run_sharded("nope", crowd.shards(2))
+
+    def test_convenience_infer_shards_in_memory(self, crowd):
+        expected = get_method("DS", kind="classification").infer(crowd)
+        result = ShardedDawidSkene().infer(crowd, num_shards=3)
+        np.testing.assert_allclose(result.posterior, expected.posterior, atol=1e-10, rtol=0)
+        assert result.extras["shards"] == 3
+
+
+class TestExecutorHook:
+    @pytest.mark.parametrize("name", ["MV", "DS", "PM"])
+    def test_thread_pool_map_stage_is_deterministic(self, crowd, name):
+        serial = run_sharded(name, crowd.shards(5))
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            threaded = run_sharded(name, crowd.shards(5), executor=pool)
+        # Results are consumed in submission order and reduced on the
+        # caller's thread, so parallel mapping is bit-identical.
+        np.testing.assert_array_equal(serial.posterior, threaded.posterior)
+
+    def test_lazy_source_keeps_bounded_in_flight_window(self):
+        """The parallel map must not drain a lazy out-of-core source up
+        front (executor.map would) — at most 2×workers shards in flight."""
+        from repro.inference.sharding import ShardedTruthInference
+
+        state = {"issued": 0, "consumed": 0, "max_outstanding": 0}
+
+        def items():
+            for index in range(40):
+                state["issued"] += 1
+                outstanding = state["issued"] - state["consumed"]
+                state["max_outstanding"] = max(state["max_outstanding"], outstanding)
+                yield index
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            results = []
+            for value in ShardedTruthInference._map_results(
+                lambda item: item * 2, items(), pool
+            ):
+                state["consumed"] += 1
+                results.append(value)
+        assert results == [index * 2 for index in range(40)]
+        # Window is 2 × max_workers = 4 (+1 for the item pulled before
+        # the oldest future's result is claimed).
+        assert state["max_outstanding"] <= 5
+
+
+class TestOutOfCore:
+    def test_lazily_loaded_coo_shards_match_batch(self, crowd, tmp_path):
+        """The out-of-core path: shards persisted as COO triples, loaded
+        one at a time per pass, nothing referencing the parent crowd."""
+        paths = []
+        for index, shard in enumerate(crowd.shards(6)):
+            rows, annotators, given = shard.flat_label_pairs()
+            path = tmp_path / f"shard{index}.npz"
+            np.savez(
+                path, rows=rows, annotators=annotators, labels=given,
+                num_instances=shard.num_instances,
+            )
+            paths.append(path)
+
+        def source():
+            for path in paths:
+                payload = np.load(path)
+                yield SparseLabelShard(
+                    payload["rows"], payload["annotators"], payload["labels"],
+                    num_instances=int(payload["num_instances"]),
+                    num_annotators=crowd.num_annotators,
+                    num_classes=crowd.num_classes,
+                    sparse_incidence=False,
+                )
+
+        expected = get_method("DS", kind="classification").infer(crowd)
+        result = run_sharded("DS", source)
+        np.testing.assert_allclose(result.posterior, expected.posterior, atol=1e-10, rtol=0)
+        np.testing.assert_allclose(result.confusions, expected.confusions, atol=1e-10, rtol=0)
+        assert result.extras["iterations"] == expected.extras["iterations"]
+
+    def test_iter_shards_budget_source(self, crowd):
+        expected = get_method("IBCC", kind="classification").infer(crowd)
+        result = run_sharded("IBCC", lambda: crowd.iter_shards(25))
+        np.testing.assert_allclose(result.posterior, expected.posterior, atol=1e-10, rtol=0)
+
+    def test_user_defined_shard_satisfying_the_protocol(self, crowd):
+        """The documented shard protocol is structural: any object with
+        the kernel-facing surface works, not just the built-in classes."""
+
+        class MyShard:
+            def __init__(self, shard):
+                self._pairs = tuple(np.array(a) for a in shard.flat_label_pairs())
+                self.num_instances = shard.num_instances
+                self.num_annotators = shard.num_annotators
+                self.num_classes = shard.num_classes
+
+            def flat_label_pairs(self):
+                return self._pairs
+
+            def label_incidence(self):
+                return None
+
+            def vote_counts(self):
+                rows, _, given = self._pairs
+                key = rows * self.num_classes + given
+                counts = np.bincount(key, minlength=self.num_instances * self.num_classes)
+                return counts.reshape(self.num_instances, self.num_classes)
+
+            def annotations_per_instance(self):
+                return np.bincount(self._pairs[0], minlength=self.num_instances)
+
+            def annotations_per_annotator(self):
+                return np.bincount(self._pairs[1], minlength=self.num_annotators)
+
+        expected = get_method("DS", kind="classification").infer(crowd)
+        result = run_sharded("DS", [MyShard(shard) for shard in crowd.shards(3)])
+        np.testing.assert_allclose(result.posterior, expected.posterior, atol=1e-10, rtol=0)
+
+
+class TestSparseLabelShardValidation:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="labels out of range"):
+            SparseLabelShard(
+                np.array([0]), np.array([0]), np.array([5]),
+                num_instances=2, num_annotators=3, num_classes=3,
+            )
+        with pytest.raises(ValueError, match="rows out of range"):
+            SparseLabelShard(
+                np.array([7]), np.array([0]), np.array([1]),
+                num_instances=2, num_annotators=3, num_classes=3,
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            SparseLabelShard(
+                np.array([0, 1]), np.array([0]), np.array([1]),
+                num_instances=2, num_annotators=3, num_classes=3,
+            )
+
+    def test_from_dense_round_trip(self, crowd):
+        shard = SparseLabelShard.from_dense(crowd.labels, crowd.num_classes)
+        np.testing.assert_array_equal(shard.vote_counts(), crowd.vote_counts())
+        np.testing.assert_array_equal(
+            shard.annotations_per_annotator(), crowd.annotations_per_annotator()
+        )
+        assert shard.total_annotations() == crowd.total_annotations()

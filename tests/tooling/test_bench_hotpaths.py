@@ -4,10 +4,13 @@ Runs ``benchmarks/bench_hotpaths.py --smoke`` in a subprocess (fresh
 interpreter, exactly as CI would) and fails if it errors — so a change
 that breaks any seed-vs-live equivalence check (fused GRU, vectorized
 sequence EM, sparse DS EM, batched forward–backward, sparse GLAD/PM/CATD,
-the width-loop conv1d step, the streaming replay contract), or the
-harness itself, fails the tier-1 suite. The smoke run finishes in a few
-seconds; it measures tiny sizes and makes no speedup assertions (wall
-clock on shared CI boxes is not a contract).
+the width-loop conv1d step, the streaming replay contract, the sharded
+batch-twin contract), or the harness itself, fails the tier-1 suite. The
+smoke run finishes in a few seconds; it measures tiny sizes and makes no
+speedup assertions (wall clock on shared CI boxes is not a contract) —
+the one resource bound asserted is the sharded section's peak-memory
+ordering, which tracemalloc measures deterministically enough for CI:
+out-of-core inference must peak below the in-memory batch run.
 """
 
 import json
@@ -45,16 +48,18 @@ def test_bench_hotpaths_smoke_runs_and_writes_json(tmp_path):
     assert payload["smoke"] is True
     sections = (
         "gru", "sequence_em", "dawid_skene", "forward_backward",
-        "glad", "pm_catd", "conv1d", "streaming",
+        "glad", "pm_catd", "conv1d", "streaming", "sharded",
     )
     bounds = {
         # Equivalence is asserted inside the harness; re-check it landed.
         # conv1d's two BLAS paths split the width·D reduction differently,
         # so its bound is float64 round-off rather than the 1e-10 the
         # identical-order inference rewrites achieve; streaming is pinned
-        # at its documented replay contract (atol 1e-8).
+        # at its documented replay contract (atol 1e-8); sharded regroups
+        # per-shard partial sums (atol 1e-9, documented in the bench).
         "conv1d": 1e-9,
         "streaming": 1e-8,
+        "sharded": 1e-9,
     }
     for section in sections:
         entry = payload[section]
@@ -68,3 +73,12 @@ def test_bench_hotpaths_smoke_runs_and_writes_json(tmp_path):
         "after_first_update_ms", "after_last_update_ms",
     ):
         assert payload["streaming"][key] > 0
+
+    # The sharded section's memory claim: out-of-core inference peaks
+    # below the in-memory batch run at both scales, and the shard layout
+    # really is smaller than the crowd.
+    for entry in (payload["sharded"], payload["sharded"]["paper_scale"]):
+        assert entry["max_abs_diff"] < 1e-9
+        assert entry["after_peak_bytes"] < entry["before_peak_bytes"]
+        assert entry["largest_shard_coo_bytes"] < entry["crowd_label_bytes"]
+        assert entry["config"]["shards"] >= 2
