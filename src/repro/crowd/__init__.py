@@ -18,7 +18,14 @@ from .simulation import (
     sample_confusion_matrix,
     simulate_classification_crowd,
 )
-from .sharding import CrowdShard, SequenceCrowdShard, SparseLabelShard
+from .sharding import (
+    CrowdShard,
+    SequenceCrowdShard,
+    ShardHandle,
+    SparseLabelShard,
+    as_sparse_shard,
+    save_shard_handles,
+)
 from .types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
 
 __all__ = [
@@ -28,6 +35,9 @@ __all__ = [
     "CrowdShard",
     "SequenceCrowdShard",
     "SparseLabelShard",
+    "ShardHandle",
+    "as_sparse_shard",
+    "save_shard_handles",
     "AnnotatorPool",
     "sample_confusion_matrix",
     "sample_annotator_pool",

@@ -22,7 +22,17 @@ Three shard flavors cover the deployment spectrum:
   COO triples, with no dense ``(I, J)`` matrix behind it. This is the
   out-of-core interchange format: a worker that loads a shard from disk
   needs exactly what the kernels consume, so it ships the triples and
-  skips densification entirely.
+  skips densification entirely. :meth:`SparseLabelShard.save` /
+  :meth:`SparseLabelShard.load` give it a durable on-disk form (a
+  header+COO ``.npy`` stream that loads as a memmap, or ``.npz``).
+* :class:`ShardHandle` — a picklable *descriptor* of an on-disk shard:
+  path, optional instance range in file coordinates, and dimensions. A
+  worker process receives the handle (a few ints and a string), opens the
+  memmap itself via :meth:`ShardHandle.open`, and never ships label
+  arrays across the pickle boundary. :func:`save_shard_handles` writes a
+  whole crowd as ONE row-sorted COO file and returns range handles over
+  it — the out-of-core parallel form the process-based map in
+  :mod:`repro.inference.sharding` consumes.
 
 Shards hold references into their parent's caches; do not ``extend`` /
 ``append_labels`` on the parent while shard views are alive.
@@ -30,11 +40,21 @@ Shards hold references into their parent's caches; do not ``extend`` /
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
 
-__all__ = ["CrowdShard", "SequenceCrowdShard", "SparseLabelShard", "partition_bounds"]
+__all__ = [
+    "CrowdShard",
+    "SequenceCrowdShard",
+    "SparseLabelShard",
+    "ShardHandle",
+    "as_sparse_shard",
+    "save_shard_handles",
+    "partition_bounds",
+]
 
 
 def partition_bounds(total: int, num_shards: int) -> list[tuple[int, int]]:
@@ -372,6 +392,67 @@ class SparseLabelShard:
         self.num_annotators = int(num_annotators)
         self.num_classes = int(num_classes)
         self._sparse_incidence = bool(sparse_incidence)
+        self._rows_sorted: bool | None = None  # unknown until probed
+
+    @classmethod
+    def _trusted(
+        cls,
+        rows,
+        annotators,
+        labels,
+        num_instances: int,
+        num_annotators: int,
+        num_classes: int,
+        sparse_incidence: bool = True,
+        rows_sorted: bool | None = None,
+    ) -> "SparseLabelShard":
+        """Construct without the O(n_obs) range validation.
+
+        For triples that were validated when written (:meth:`load`,
+        :meth:`ShardHandle.open`): re-validating a memmap-backed shard
+        would fault in every page of a file the caller asked to map
+        lazily. Arrays are stored as given — memmap views stay memmaps.
+        """
+        shard = cls.__new__(cls)
+        shard._rows = rows
+        shard._annotators = annotators
+        shard._labels = labels
+        shard.num_instances = int(num_instances)
+        shard.num_annotators = int(num_annotators)
+        shard.num_classes = int(num_classes)
+        shard._sparse_incidence = bool(sparse_incidence)
+        shard._rows_sorted = rows_sorted
+        return shard
+
+    def _rows_are_sorted(self) -> bool:
+        """Whether the triples are row-sorted (probed once, then cached;
+        save/load carry the answer in the file header so memmap loads
+        never scan)."""
+        if self._rows_sorted is None:
+            self._rows_sorted = bool(
+                self._rows.size == 0 or (np.diff(self._rows) >= 0).all()
+            )
+        return self._rows_sorted
+
+    def __getstate__(self) -> dict:
+        """Pickle the triples and dimensions, never the built caches.
+
+        Workers receiving a shard must not pay for a serialized CSR
+        incidence — in particular one that ``sparse_incidence=False``
+        promised to skip — and memmap-backed triples materialize to plain
+        arrays (a pickle cannot carry a file mapping).
+        """
+        state = self.__dict__.copy()
+        state.pop("_incidence_cache", None)
+        state["_rows"] = np.asarray(self._rows)
+        state["_annotators"] = np.asarray(self._annotators)
+        state["_labels"] = np.asarray(self._labels)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Shards pickled by older code lack the sortedness hint.
+        self.__dict__.setdefault("_rows_sorted", None)
 
     @classmethod
     def from_dense(cls, labels: np.ndarray, num_classes: int, **kwargs) -> "SparseLabelShard":
@@ -403,7 +484,7 @@ class SparseLabelShard:
                 group = self._annotators * self.num_classes + self._labels
                 shape = (self.num_instances, self.num_annotators * self.num_classes)
                 data = np.ones(self._rows.size)
-                if self._rows.size and (np.diff(self._rows) >= 0).all():
+                if self._rows.size and self._rows_are_sorted():
                     # Row-sorted triples (the common case: shards cut from
                     # a row-major scan) admit a direct CSR build — the
                     # indptr is one searchsorted, no COO→CSR sort, and no
@@ -431,3 +512,275 @@ class SparseLabelShard:
 
     def total_annotations(self) -> int:
         return int(self._rows.size)
+
+    # -- on-disk format ---------------------------------------------------- #
+    def save(self, path) -> str:
+        """Persist as a standalone shard file; returns the path written.
+
+        Two layouts, chosen by extension:
+
+        * default (``.npy`` or anything else): the header+COO stream —
+          two consecutive arrays in one file written with
+          :func:`numpy.lib.format.write_array`, an int64 header
+          ``[magic, version, I, J, K, sparse_incidence, row_sorted,
+          n_obs]`` followed by the ``(3, n_obs)`` int64 COO block (rows,
+          annotators, labels as contiguous rows). ``load(mmap=True)``
+          reads the tiny header and memmaps the block in place.
+        * ``.npz``: :func:`numpy.savez` with named members — the interop
+          form; loads without mmap (numpy cannot map zip members).
+        """
+        path = str(path)
+        header_fields = np.array(
+            [
+                _SHARD_FILE_MAGIC,
+                _SHARD_FORMAT_VERSION,
+                self.num_instances,
+                self.num_annotators,
+                self.num_classes,
+                int(self._sparse_incidence),
+                int(self._rows_are_sorted()),
+                self._rows.size,
+            ],
+            dtype=np.int64,
+        )
+        if path.endswith(".npz"):
+            np.savez(
+                path,
+                meta=header_fields,
+                rows=np.asarray(self._rows, dtype=np.int64),
+                annotators=np.asarray(self._annotators, dtype=np.int64),
+                labels=np.asarray(self._labels, dtype=np.int64),
+            )
+            return path
+        coo = np.empty((3, self._rows.size), dtype=np.int64)
+        coo[0] = self._rows
+        coo[1] = self._annotators
+        coo[2] = self._labels
+        with open(path, "wb") as stream:
+            np.lib.format.write_array(stream, header_fields, version=(1, 0))
+            np.lib.format.write_array(stream, coo, version=(1, 0))
+        return path
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "SparseLabelShard":
+        """Load a shard written by :meth:`save`.
+
+        For the header+COO layout, ``mmap=True`` (the default) maps the
+        COO block read-only instead of reading it — opening a shard costs
+        one header read, and triples page in as the kernels touch them.
+        The triples were range-validated when written, so loading skips
+        the O(n_obs) constructor validation (which would fault in every
+        page). ``.npz`` files always load eagerly.
+        """
+        path = str(path)
+        if path.endswith(".npz"):
+            with np.load(path) as payload:
+                meta = payload["meta"]
+                _check_shard_header(meta, path)
+                return cls._trusted(
+                    payload["rows"], payload["annotators"], payload["labels"],
+                    num_instances=int(meta[2]),
+                    num_annotators=int(meta[3]),
+                    num_classes=int(meta[4]),
+                    sparse_incidence=bool(meta[5]),
+                    rows_sorted=bool(meta[6]),
+                )
+        with open(path, "rb") as stream:
+            meta = np.lib.format.read_array(stream)
+            _check_shard_header(meta, path)
+            n_obs = int(meta[7])
+            if n_obs == 0:
+                coo = np.zeros((3, 0), dtype=np.int64)
+            elif not mmap:
+                coo = np.lib.format.read_array(stream)
+            else:
+                version = np.lib.format.read_magic(stream)
+                if version != (1, 0):  # pragma: no cover - we always write 1.0
+                    raise ValueError(f"unsupported npy version {version} in {path}")
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(stream)
+                coo = np.memmap(
+                    path, dtype=dtype, mode="r", offset=stream.tell(),
+                    shape=shape, order="F" if fortran else "C",
+                )
+            if coo.shape != (3, n_obs):
+                raise ValueError(
+                    f"shard file {path}: header promises {n_obs} observations, "
+                    f"COO block has shape {coo.shape}"
+                )
+            return cls._trusted(
+                coo[0], coo[1], coo[2],
+                num_instances=int(meta[2]),
+                num_annotators=int(meta[3]),
+                num_classes=int(meta[4]),
+                sparse_incidence=bool(meta[5]),
+                rows_sorted=bool(meta[6]),
+            )
+
+
+_SHARD_FILE_MAGIC = 0x53485244  # "SHRD"
+_SHARD_FORMAT_VERSION = 1
+
+
+def _check_shard_header(meta: np.ndarray, path: str) -> None:
+    if meta.shape != (8,) or int(meta[0]) != _SHARD_FILE_MAGIC:
+        raise ValueError(f"{path} is not a shard file (bad header)")
+    if int(meta[1]) != _SHARD_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: shard format version {int(meta[1])} "
+            f"(this build reads {_SHARD_FORMAT_VERSION})"
+        )
+
+
+def as_sparse_shard(crowd) -> SparseLabelShard:
+    """Export any shard-protocol object as a standalone COO shard.
+
+    :class:`SparseLabelShard` passes through; :class:`CrowdShard` uses its
+    ``to_sparse``; anything else exposing ``flat_label_pairs`` plus the
+    three dimensions (e.g. a whole :class:`~repro.crowd.types.
+    CrowdLabelMatrix`) is wrapped around its triples without copying.
+    """
+    if isinstance(crowd, SparseLabelShard):
+        return crowd
+    if hasattr(crowd, "to_sparse"):
+        return crowd.to_sparse()
+    rows, annotators, given = crowd.flat_label_pairs()
+    return SparseLabelShard(
+        rows, annotators, given,
+        num_instances=crowd.num_instances,
+        num_annotators=crowd.num_annotators,
+        num_classes=crowd.num_classes,
+    )
+
+
+@dataclass(frozen=True)
+class ShardHandle:
+    """Picklable descriptor of an on-disk shard (or one row range of it).
+
+    The unit of work the process-based map ships to workers: a path plus
+    a few ints. The worker calls :meth:`open`, which memmaps the file and
+    localizes the ``[start, stop)`` instance range itself — label arrays
+    never cross the pickle boundary. ``start``/``stop`` are in *file*
+    coordinates; ``None`` means the whole file. Range handles require a
+    row-sorted file (the header records sortedness): localization is then
+    one binary search instead of a full-file scan.
+
+    ``num_instances`` (and the other dims) are declared up front so
+    planners can size work without touching the file; :meth:`open`
+    cross-checks them against the header. ``sparse_incidence=None``
+    inherits the flag the file was saved with; a bool overrides it (e.g.
+    force the bincount path for shards re-opened every pass).
+    """
+
+    path: str
+    num_instances: int
+    num_annotators: int
+    num_classes: int
+    start: int | None = None
+    stop: int | None = None
+    mmap: bool = True
+    sparse_incidence: bool | None = None
+
+    def open(self) -> SparseLabelShard:
+        """Open the file and return the described (sub-)shard."""
+        shard = SparseLabelShard.load(self.path, mmap=self.mmap)
+        if (shard.num_annotators, shard.num_classes) != (
+            self.num_annotators,
+            self.num_classes,
+        ):
+            raise ValueError(
+                f"{self.path}: file dims (J={shard.num_annotators}, "
+                f"K={shard.num_classes}) disagree with handle "
+                f"(J={self.num_annotators}, K={self.num_classes})"
+            )
+        sparse_incidence = (
+            shard._sparse_incidence
+            if self.sparse_incidence is None
+            else self.sparse_incidence
+        )
+        if self.start is None and self.stop is None:
+            if shard.num_instances != self.num_instances:
+                raise ValueError(
+                    f"{self.path}: file holds {shard.num_instances} instances, "
+                    f"handle declares {self.num_instances}"
+                )
+            if sparse_incidence != shard._sparse_incidence:
+                shard._sparse_incidence = sparse_incidence
+            return shard
+        start = 0 if self.start is None else int(self.start)
+        stop = shard.num_instances if self.stop is None else int(self.stop)
+        if not 0 <= start <= stop <= shard.num_instances:
+            raise ValueError(
+                f"{self.path}: handle range [{start}, {stop}) outside "
+                f"[0, {shard.num_instances}]"
+            )
+        if stop - start != self.num_instances:
+            raise ValueError(
+                f"{self.path}: handle range [{start}, {stop}) holds "
+                f"{stop - start} instances, handle declares {self.num_instances}"
+            )
+        if not shard._rows_are_sorted():
+            raise ValueError(
+                f"{self.path}: range handles need a row-sorted shard file "
+                "(save_shard_handles sorts; re-save this file through it)"
+            )
+        rows = shard._rows
+        lo = int(np.searchsorted(rows, start, side="left"))
+        hi = int(np.searchsorted(rows, stop, side="left"))
+        # Localized rows are fresh memory (O(range observations)); the
+        # annotator/label columns stay views of the mapped file.
+        return SparseLabelShard._trusted(
+            np.asarray(rows[lo:hi], dtype=np.int64) - start,
+            shard._annotators[lo:hi],
+            shard._labels[lo:hi],
+            num_instances=stop - start,
+            num_annotators=shard.num_annotators,
+            num_classes=shard.num_classes,
+            sparse_incidence=sparse_incidence,
+            rows_sorted=True,
+        )
+
+
+def save_shard_handles(
+    crowd,
+    path,
+    num_shards: int,
+    mmap: bool = True,
+    sparse_incidence: bool | None = None,
+) -> list[ShardHandle]:
+    """Write ``crowd`` as ONE row-sorted COO shard file; return range handles.
+
+    The out-of-core parallel form: one file on disk, ``num_shards``
+    contiguous near-equal instance ranges over it (the same
+    :func:`partition_bounds` split as ``crowd.shards(n)``), each described
+    by a :class:`ShardHandle` a worker process opens independently.
+    Accepts anything :func:`as_sparse_shard` does; triples are sorted by
+    row before writing (stable, so within-instance order is preserved)
+    because range localization binary-searches the row column.
+    """
+    sparse = as_sparse_shard(crowd)
+    if not sparse._rows_are_sorted():
+        order = np.argsort(sparse._rows, kind="stable")
+        sparse = SparseLabelShard._trusted(
+            sparse._rows[order],
+            sparse._annotators[order],
+            sparse._labels[order],
+            num_instances=sparse.num_instances,
+            num_annotators=sparse.num_annotators,
+            num_classes=sparse.num_classes,
+            sparse_incidence=sparse._sparse_incidence,
+            rows_sorted=True,
+        )
+    path = sparse.save(path)
+    return [
+        ShardHandle(
+            path=path,
+            num_instances=stop - start,
+            num_annotators=sparse.num_annotators,
+            num_classes=sparse.num_classes,
+            start=start,
+            stop=stop,
+            mmap=mmap,
+            sparse_incidence=sparse_incidence,
+        )
+        for start, stop in partition_bounds(sparse.num_instances, num_shards)
+    ]

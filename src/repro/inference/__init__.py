@@ -79,6 +79,7 @@ from .sharding import (
     as_shard_source,
     merge_shard_stats,
     run_sharded,
+    tree_merge_shard_stats,
 )
 from .streaming import (
     StreamingDawidSkene,
@@ -129,6 +130,7 @@ __all__ = [
     "StreamingGLAD",
     "ShardStats",
     "merge_shard_stats",
+    "tree_merge_shard_stats",
     "as_shard_source",
     "ShardedTruthInference",
     "run_sharded",

@@ -33,7 +33,7 @@ from ..crowd.types import CrowdLabelMatrix
 from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
 from .primitives import annotator_agreement, normalize_vote_scores, weighted_vote_scores
-from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
+from .sharding import ShardedTruthInference, ShardStats, shard_base_stats
 
 __all__ = ["CATD", "ShardedCATD", "catd_reference"]
 
@@ -100,20 +100,25 @@ class ShardedCATD(ShardedTruthInference):
         self.tolerance = tolerance
         self.alpha = alpha
 
-    def infer_sharded(self, shards, executor=None) -> InferenceResult:
-        source = as_shard_source(shards)
+    def _init_mapper(self, params, shard):
+        block = majority_vote_posterior(shard)
+        return block, ShardStats(
+            agreement=annotator_agreement(block, shard),
+            label_counts=np.asarray(
+                shard.annotations_per_annotator(), dtype=np.float64
+            ),
+            **shard_base_stats(shard),
+        )
 
-        def init_map(shard):
-            block = majority_vote_posterior(shard)
-            return block, ShardStats(
-                agreement=annotator_agreement(block, shard),
-                label_counts=np.asarray(
-                    shard.annotations_per_annotator(), dtype=np.float64
-                ),
-                **shard_base_stats(shard),
-            )
+    def _vote_mapper(self, weights, shard, old_block):
+        block = normalize_vote_scores(weighted_vote_scores(weights, shard))
+        return block, ShardStats(
+            agreement=annotator_agreement(block, shard),
+            delta=float(np.abs(block - old_block).max(initial=0.0)),
+        )
 
-        _, K, blocks, merged = self._initial_pass(source, executor, init_map)
+    def _infer(self, ctx) -> InferenceResult:
+        _, K, blocks, merged = self._initial_pass(ctx, self._init_mapper)
         self._require_annotated(merged)
         num_shards = len(blocks)
         observations = merged.observations
@@ -127,14 +132,7 @@ class ShardedCATD(ShardedTruthInference):
             weights = chi_upper / np.maximum(error_sum, 1e-6)
             weights = weights / weights.max()  # scale-invariant voting
 
-            def vote_map(shard, old_block):
-                block = normalize_vote_scores(weighted_vote_scores(weights, shard))
-                return block, ShardStats(
-                    agreement=annotator_agreement(block, shard),
-                    delta=float(np.abs(block - old_block).max(initial=0.0)),
-                )
-
-            blocks, merged = self._pass(source, blocks, executor, vote_map)
+            blocks, merged = self._pass(ctx, blocks, self._vote_mapper, weights)
             if monitor.step(merged.delta):
                 break
 

@@ -23,7 +23,7 @@ from ..crowd.types import CrowdLabelMatrix
 from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
 from .primitives import confusion_counts, emission_log_likelihood
-from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
+from .sharding import ShardedTruthInference, ShardStats, shard_base_stats
 
 __all__ = ["DawidSkene", "ShardedDawidSkene", "dawid_skene_reference"]
 
@@ -97,7 +97,10 @@ class ShardedDawidSkene(ShardedTruthInference):
     totals), then one map pass applies the refreshed parameters' E-step to
     every shard and gathers the next round's statistics — so each EM round
     reads the shard data exactly once. The init pass seeds with per-shard
-    majority voting, as the batch method does. Equivalence to the batch
+    majority voting, as the batch method does. The mappers are bound
+    methods taking ``(params, shard, state)`` so a process pool can ship
+    them by name; the per-round ``(log prior, log confusions)`` travel as
+    the pass params, broadcast once per pass. Equivalence to the batch
     twin (posterior, confusions, iteration count) holds at atol 1e-10 on
     any shard layout; the only divergence is summation grouping.
     """
@@ -115,18 +118,34 @@ class ShardedDawidSkene(ShardedTruthInference):
         self.tolerance = tolerance
         self.smoothing = smoothing
 
-    def infer_sharded(self, shards, executor=None) -> InferenceResult:
-        source = as_shard_source(shards)
+    def _init_mapper(self, params, shard):
+        block = majority_vote_posterior(shard)
+        return block, ShardStats(
+            confusion=confusion_counts(block, shard),
+            class_totals=block.sum(axis=0),
+            **shard_base_stats(shard),
+        )
 
-        def init_map(shard):
-            block = majority_vote_posterior(shard)
-            return block, ShardStats(
-                confusion=confusion_counts(block, shard),
-                class_totals=block.sum(axis=0),
-                **shard_base_stats(shard),
-            )
+    def _em_mapper(self, params, shard, old_block):
+        # E-step under the fresh global parameters, plus this block's
+        # contribution to the *next* round's M-step.
+        log_prior, log_confusions = params
+        log_posterior = log_prior[None, :] + emission_log_likelihood(
+            shard, log_confusions
+        )
+        shift = log_posterior.max(axis=1, keepdims=True)
+        unnormalized = np.exp(log_posterior - shift)
+        normalizer = unnormalized.sum(axis=1, keepdims=True)
+        block = unnormalized / normalizer
+        return block, ShardStats(
+            confusion=confusion_counts(block, shard),
+            class_totals=block.sum(axis=0),
+            log_likelihood=float((shift[:, 0] + np.log(normalizer[:, 0])).sum()),
+            delta=float(np.abs(block - old_block).max(initial=0.0)),
+        )
 
-        _, K, blocks, stats = self._initial_pass(source, executor, init_map)
+    def _infer(self, ctx) -> InferenceResult:
+        _, K, blocks, stats = self._initial_pass(ctx, self._init_mapper)
         self._require_annotated(stats)
         num_shards = len(blocks)
         observations = stats.observations
@@ -138,27 +157,10 @@ class ShardedDawidSkene(ShardedTruthInference):
             confusions = counts / counts.sum(axis=2, keepdims=True)
             prior = stats.class_totals + self.smoothing
             prior = prior / prior.sum()
-            log_prior = np.log(prior)
-            log_confusions = np.log(confusions)
 
-            def em_map(shard, old_block):
-                # E-step under the fresh global parameters, plus this
-                # block's contribution to the *next* round's M-step.
-                log_posterior = log_prior[None, :] + emission_log_likelihood(
-                    shard, log_confusions
-                )
-                shift = log_posterior.max(axis=1, keepdims=True)
-                unnormalized = np.exp(log_posterior - shift)
-                normalizer = unnormalized.sum(axis=1, keepdims=True)
-                block = unnormalized / normalizer
-                return block, ShardStats(
-                    confusion=confusion_counts(block, shard),
-                    class_totals=block.sum(axis=0),
-                    log_likelihood=float((shift[:, 0] + np.log(normalizer[:, 0])).sum()),
-                    delta=float(np.abs(block - old_block).max(initial=0.0)),
-                )
-
-            blocks, stats = self._pass(source, blocks, executor, em_map)
+            blocks, stats = self._pass(
+                ctx, blocks, self._em_mapper, (np.log(prior), np.log(confusions))
+            )
             if monitor.step(stats.delta, stats.log_likelihood):
                 break
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..crowd.types import CrowdLabelMatrix
 from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
-from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
+from .sharding import ShardedTruthInference, ShardStats, shard_base_stats
 
 __all__ = ["GLAD", "ShardedGLAD", "glad_reference"]
 
@@ -182,29 +182,73 @@ class ShardedGLAD(ShardedTruthInference):
         self.prior_correct = prior_correct
         self.tolerance = tolerance
 
-    def infer_sharded(self, shards, executor=None) -> InferenceResult:
-        source = as_shard_source(shards)
+    def _init_mapper(self, params, shard):
+        # Per-shard state (all O(shard instances), carried across
+        # passes like the batch method's per-instance arrays):
+        # posterior, log difficulty, and the labels-per-instance mean
+        # normalizer — computed once here, not per gradient step.
+        rows, cols, _ = shard.flat_label_pairs()
+        state = (
+            np.full(shard.num_instances, self.prior_correct),
+            np.zeros(shard.num_instances),
+            np.maximum(np.bincount(rows, minlength=shard.num_instances), 1),
+        )
+        return state, ShardStats(
+            label_counts=np.bincount(
+                cols, minlength=shard.num_annotators
+            ).astype(np.float64),
+            **shard_base_stats(shard),
+        )
+
+    def _e_mapper(self, alpha, shard, state):
+        posterior_one, log_beta, labels_per_instance = state
+        rows, cols, given = shard.flat_label_pairs()
+        votes_one = given == 1
+        n = shard.num_instances
         log_prior_ratio = np.log(self.prior_correct) - np.log(1 - self.prior_correct)
+        sig = _sigmoid(np.exp(log_beta)[rows] * alpha[cols])
+        log_sig = np.log(sig + 1e-12)
+        log_one_minus = np.log(1.0 - sig + 1e-12)
+        log_like_one = np.bincount(
+            rows, weights=np.where(votes_one, log_sig, log_one_minus), minlength=n
+        )
+        log_like_zero = np.bincount(
+            rows, weights=np.where(votes_one, log_one_minus, log_sig), minlength=n
+        )
+        new_posterior = _sigmoid(log_prior_ratio + log_like_one - log_like_zero)
+        delta = float(np.abs(new_posterior - posterior_one).max(initial=0.0))
+        return (new_posterior, log_beta, labels_per_instance), ShardStats(delta=delta)
 
-        def init_map(shard):
-            # Per-shard state (all O(shard instances), carried across
-            # passes like the batch method's per-instance arrays):
-            # posterior, log difficulty, and the labels-per-instance mean
-            # normalizer — computed once here, not per gradient step.
-            rows, cols, _ = shard.flat_label_pairs()
-            state = (
-                np.full(shard.num_instances, self.prior_correct),
-                np.zeros(shard.num_instances),
-                np.maximum(np.bincount(rows, minlength=shard.num_instances), 1),
-            )
-            return state, ShardStats(
-                label_counts=np.bincount(
-                    cols, minlength=shard.num_annotators
-                ).astype(np.float64),
-                **shard_base_stats(shard),
-            )
+    def _grad_mapper(self, alpha, shard, state):
+        posterior_one, log_beta, labels_per_instance = state
+        rows, cols, given = shard.flat_label_pairs()
+        votes_one = given == 1
+        n = shard.num_instances
+        beta = np.exp(log_beta)
+        sig = _sigmoid(beta[rows] * alpha[cols])
+        prob_correct = np.where(
+            votes_one, posterior_one[rows], 1.0 - posterior_one[rows]
+        )
+        residual = prob_correct - sig
+        # Raw scatter sum; the driver applies the global
+        # labels-per-annotator mean, matching the batch gradient.
+        grad_alpha = np.bincount(
+            cols, weights=residual * beta[rows], minlength=shard.num_annotators
+        )
+        grad_log_beta = (
+            np.bincount(rows, weights=residual * alpha[cols], minlength=n)
+            * beta
+        ) / labels_per_instance
+        new_log_beta = np.clip(
+            log_beta + self.learning_rate * grad_log_beta, -4.0, 4.0
+        )
+        return (
+            (posterior_one, new_log_beta, labels_per_instance),
+            ShardStats(grad_alpha=grad_alpha),
+        )
 
-        J, K, states, stats = self._initial_pass(source, executor, init_map)
+    def _infer(self, ctx) -> InferenceResult:
+        J, K, states, stats = self._initial_pass(ctx, self._init_mapper)
         if K != 2:
             raise ValueError("GLAD supports binary labels only (as in the paper)")
         self._require_annotated(stats)
@@ -215,25 +259,7 @@ class ShardedGLAD(ShardedTruthInference):
         monitor = ConvergenceMonitor(self.tolerance, self.em_iterations)
 
         while True:
-            def e_map(shard, state):
-                posterior_one, log_beta, labels_per_instance = state
-                rows, cols, given = shard.flat_label_pairs()
-                votes_one = given == 1
-                n = shard.num_instances
-                sig = _sigmoid(np.exp(log_beta)[rows] * alpha[cols])
-                log_sig = np.log(sig + 1e-12)
-                log_one_minus = np.log(1.0 - sig + 1e-12)
-                log_like_one = np.bincount(
-                    rows, weights=np.where(votes_one, log_sig, log_one_minus), minlength=n
-                )
-                log_like_zero = np.bincount(
-                    rows, weights=np.where(votes_one, log_one_minus, log_sig), minlength=n
-                )
-                new_posterior = _sigmoid(log_prior_ratio + log_like_one - log_like_zero)
-                delta = float(np.abs(new_posterior - posterior_one).max(initial=0.0))
-                return (new_posterior, log_beta, labels_per_instance), ShardStats(delta=delta)
-
-            states, stats = self._pass(source, states, executor, e_map)
+            states, stats = self._pass(ctx, states, self._e_mapper, alpha)
             should_stop = monitor.step(stats.delta)
             if monitor.converged:
                 # Same dead-work skip as the batch method: the posterior is
@@ -241,35 +267,7 @@ class ShardedGLAD(ShardedTruthInference):
                 break
 
             for _ in range(self.gradient_steps):
-                def grad_map(shard, state):
-                    posterior_one, log_beta, labels_per_instance = state
-                    rows, cols, given = shard.flat_label_pairs()
-                    votes_one = given == 1
-                    n = shard.num_instances
-                    beta = np.exp(log_beta)
-                    sig = _sigmoid(beta[rows] * alpha[cols])
-                    prob_correct = np.where(
-                        votes_one, posterior_one[rows], 1.0 - posterior_one[rows]
-                    )
-                    residual = prob_correct - sig
-                    # Raw scatter sum; the driver applies the global
-                    # labels-per-annotator mean, matching the batch gradient.
-                    grad_alpha = np.bincount(
-                        cols, weights=residual * beta[rows], minlength=shard.num_annotators
-                    )
-                    grad_log_beta = (
-                        np.bincount(rows, weights=residual * alpha[cols], minlength=n)
-                        * beta
-                    ) / labels_per_instance
-                    new_log_beta = np.clip(
-                        log_beta + self.learning_rate * grad_log_beta, -4.0, 4.0
-                    )
-                    return (
-                        (posterior_one, new_log_beta, labels_per_instance),
-                        ShardStats(grad_alpha=grad_alpha),
-                    )
-
-                states, grad_stats = self._pass(source, states, executor, grad_map)
+                states, grad_stats = self._pass(ctx, states, self._grad_mapper, alpha)
                 alpha = np.clip(
                     alpha + self.learning_rate * grad_stats.grad_alpha / labels_per_annotator,
                     -8.0,

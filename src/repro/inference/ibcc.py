@@ -31,7 +31,7 @@ from ..crowd.types import CrowdLabelMatrix
 from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
 from .primitives import confusion_counts, emission_log_likelihood, normalize_log_posterior
-from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
+from .sharding import ShardedTruthInference, ShardStats, shard_base_stats
 
 __all__ = ["IBCC", "ShardedIBCC", "ibcc_reference"]
 
@@ -138,18 +138,28 @@ class ShardedIBCC(ShardedTruthInference):
         self.prior_off_diagonal = prior_off_diagonal
         self.prior_class = prior_class
 
-    def infer_sharded(self, shards, executor=None) -> InferenceResult:
-        source = as_shard_source(shards)
+    def _init_mapper(self, params, shard):
+        block = majority_vote_posterior(shard)
+        return block, ShardStats(
+            confusion=confusion_counts(block, shard),
+            class_totals=block.sum(axis=0),
+            **shard_base_stats(shard),
+        )
 
-        def init_map(shard):
-            block = majority_vote_posterior(shard)
-            return block, ShardStats(
-                confusion=confusion_counts(block, shard),
-                class_totals=block.sum(axis=0),
-                **shard_base_stats(shard),
-            )
+    def _em_mapper(self, params, shard, old_block):
+        expected_log_class, expected_log_confusion = params
+        log_posterior = expected_log_class[None, :] + emission_log_likelihood(
+            shard, expected_log_confusion
+        )
+        block = normalize_log_posterior(log_posterior)
+        return block, ShardStats(
+            confusion=confusion_counts(block, shard),
+            class_totals=block.sum(axis=0),
+            delta=float(np.abs(block - old_block).max(initial=0.0)),
+        )
 
-        _, K, blocks, stats = self._initial_pass(source, executor, init_map)
+    def _infer(self, ctx) -> InferenceResult:
+        _, K, blocks, stats = self._initial_pass(ctx, self._init_mapper)
         self._require_annotated(stats)
         num_shards = len(blocks)
         observations = stats.observations
@@ -166,18 +176,10 @@ class ShardedIBCC(ShardedTruthInference):
             )
             expected_log_class = digamma(class_counts) - digamma(class_counts.sum())
 
-            def em_map(shard, old_block):
-                log_posterior = expected_log_class[None, :] + emission_log_likelihood(
-                    shard, expected_log_confusion
-                )
-                block = normalize_log_posterior(log_posterior)
-                return block, ShardStats(
-                    confusion=confusion_counts(block, shard),
-                    class_totals=block.sum(axis=0),
-                    delta=float(np.abs(block - old_block).max(initial=0.0)),
-                )
-
-            blocks, stats = self._pass(source, blocks, executor, em_map)
+            blocks, stats = self._pass(
+                ctx, blocks, self._em_mapper,
+                (expected_log_class, expected_log_confusion),
+            )
             confusions = count_matrix / count_matrix.sum(axis=2, keepdims=True)
             if monitor.step(stats.delta):
                 break

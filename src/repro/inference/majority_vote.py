@@ -11,7 +11,7 @@ import numpy as np
 
 from ..crowd.types import MISSING, CrowdLabelMatrix
 from .base import InferenceResult, TruthInferenceMethod
-from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
+from .sharding import ShardedTruthInference, ShardStats, shard_base_stats
 
 __all__ = [
     "MajorityVote",
@@ -50,18 +50,16 @@ class ShardedMajorityVote(ShardedTruthInference):
 
     name = "MV"
 
-    def infer_sharded(self, shards, executor=None) -> InferenceResult:
-        source = as_shard_source(shards)
+    def _vote_mapper(self, params, shard):
+        block = majority_vote_posterior(shard)
+        stats = ShardStats(
+            vote_totals=np.asarray(shard.vote_counts(), dtype=np.float64).sum(axis=0),
+            **shard_base_stats(shard),
+        )
+        return block, stats
 
-        def mapper(shard):
-            block = majority_vote_posterior(shard)
-            stats = ShardStats(
-                vote_totals=np.asarray(shard.vote_counts(), dtype=np.float64).sum(axis=0),
-                **shard_base_stats(shard),
-            )
-            return block, stats
-
-        _, K, blocks, stats = self._initial_pass(source, executor, mapper)
+    def _infer(self, ctx) -> InferenceResult:
+        _, K, blocks, stats = self._initial_pass(ctx, self._vote_mapper)
         return InferenceResult(
             posterior=self._concat(blocks, K),
             extras={

@@ -24,7 +24,7 @@ from ..crowd.types import CrowdLabelMatrix
 from .base import ConvergenceMonitor, InferenceResult, TruthInferenceMethod
 from .majority_vote import majority_vote_posterior
 from .primitives import annotator_agreement, normalize_vote_scores, weighted_vote_scores
-from .sharding import ShardedTruthInference, ShardStats, as_shard_source, shard_base_stats
+from .sharding import ShardedTruthInference, ShardStats, shard_base_stats
 
 __all__ = ["PM", "ShardedPM", "pm_reference"]
 
@@ -86,20 +86,26 @@ class ShardedPM(ShardedTruthInference):
         self.tolerance = tolerance
         self.floor = floor
 
-    def infer_sharded(self, shards, executor=None) -> InferenceResult:
-        source = as_shard_source(shards)
+    def _init_mapper(self, params, shard):
+        block = majority_vote_posterior(shard)
+        return block, ShardStats(
+            agreement=annotator_agreement(block, shard),
+            label_counts=np.asarray(
+                shard.annotations_per_annotator(), dtype=np.float64
+            ),
+            **shard_base_stats(shard),
+        )
 
-        def init_map(shard):
-            block = majority_vote_posterior(shard)
-            return block, ShardStats(
-                agreement=annotator_agreement(block, shard),
-                label_counts=np.asarray(
-                    shard.annotations_per_annotator(), dtype=np.float64
-                ),
-                **shard_base_stats(shard),
-            )
+    def _vote_mapper(self, weights, shard, old_block):
+        scores = np.maximum(weighted_vote_scores(weights, shard), 0.0)
+        block = normalize_vote_scores(scores)
+        return block, ShardStats(
+            agreement=annotator_agreement(block, shard),
+            delta=float(np.abs(block - old_block).max(initial=0.0)),
+        )
 
-        _, K, blocks, stats = self._initial_pass(source, executor, init_map)
+    def _infer(self, ctx) -> InferenceResult:
+        _, K, blocks, stats = self._initial_pass(ctx, self._init_mapper)
         self._require_annotated(stats)
         num_shards = len(blocks)
         observations = stats.observations
@@ -112,15 +118,7 @@ class ShardedPM(ShardedTruthInference):
             error = np.clip(error, self.floor, 1.0 - self.floor)
             weights = -np.log(error)
 
-            def vote_map(shard, old_block):
-                scores = np.maximum(weighted_vote_scores(weights, shard), 0.0)
-                block = normalize_vote_scores(scores)
-                return block, ShardStats(
-                    agreement=annotator_agreement(block, shard),
-                    delta=float(np.abs(block - old_block).max(initial=0.0)),
-                )
-
-            blocks, stats = self._pass(source, blocks, executor, vote_map)
+            blocks, stats = self._pass(ctx, blocks, self._vote_mapper, weights)
             if monitor.step(stats.delta):
                 break
 

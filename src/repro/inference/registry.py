@@ -23,9 +23,13 @@ Methods are registered under a *kind*:
   kind-``"classification"`` method of the same name);
 * ``"sharded"`` — map-reduce twins from :mod:`~repro.inference.sharding`:
   ``infer_sharded(shard_source)`` runs the same EM on mergeable per-shard
-  sufficient statistics (in-memory shard views or lazily loaded
-  out-of-core shards), reproducing the kind-``"classification"`` method
-  of the same name at atol 1e-10 on any shard layout. Drive them through
+  sufficient statistics (in-memory shard views, lazily loaded out-of-core
+  shards, or on-disk :class:`~repro.crowd.sharding.ShardHandle` files),
+  reproducing the kind-``"classification"`` method of the same name at
+  atol 1e-10 on any shard layout. The map stage runs serially, over a
+  thread pool (``executor=``), or over a process pool (``workers=N`` or a
+  ``ProcessPoolExecutor``) with bit-identical posteriors either way
+  (deterministic tree reduce). Drive them through
   :func:`~repro.inference.sharding.run_sharded`.
 
 Factories receive the caller's keyword overrides (e.g.

@@ -41,17 +41,28 @@ the same name, and :func:`assert_sharded_matches_batch` pins posterior,
 confusions, iteration count, and method extras (weights/α/β) at atol
 1e-10 on every layout in :data:`SHARD_LAYOUTS` — one shard, 2, 7,
 one-instance shards, layouts padded with empty shards, a lazily consumed
-out-of-core generator of standalone COO shards, and an
-``iter_shards``-budgeted split. The meta-test covers this kind too.
+out-of-core generator of standalone COO shards, an
+``iter_shards``-budgeted split, and the on-disk ``ShardHandle`` layouts
+(one COO file plus picklable range descriptors, memmapped and eager) that
+the process-based parallel map ships to workers. The contract holds
+regardless of executor: ``assert_sharded_matches_batch`` forwards
+``executor=``/``workers=`` so the same pin runs through thread and
+process pools. The meta-test covers this kind too.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import shutil
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from repro.crowd.sharding import save_shard_handles
 from repro.crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
 from repro.experiments.streaming_suite import stream_crowd_in_batches
 from repro.inference import (
@@ -430,9 +441,23 @@ def _out_of_core_source(crowd: CrowdLabelMatrix, num_shards: int):
     return source
 
 
+# Session-scoped scratch dir for the on-disk handle layouts. Each layout
+# call writes a *fresh* file (handle caches key by path, and shard files
+# are immutable while handles are live — see repro.inference.sharding).
+_HANDLE_DIR = Path(tempfile.mkdtemp(prefix="repro-harness-handles-"))
+atexit.register(shutil.rmtree, _HANDLE_DIR, ignore_errors=True)
+_handle_counter = itertools.count()
+
+
+def _handle_source(crowd: CrowdLabelMatrix, num_shards: int, mmap: bool):
+    path = _HANDLE_DIR / f"crowd-{next(_handle_counter):05d}.npy"
+    return save_shard_handles(crowd, path, num_shards, mmap=mmap)
+
+
 # name → (crowd → shard source): the layout axis of the sharded contract.
 # Covers the shard counts the tentpole names (1, 2, 7, one-instance,
-# empty shards) plus both lazy source forms.
+# empty shards), both lazy source forms, and the on-disk ShardHandle
+# layouts (one COO file + range descriptors, memmapped and eager).
 SHARD_LAYOUTS: dict[str, Callable] = {
     "one-shard": lambda crowd: crowd.shards(1),
     "two-shards": lambda crowd: crowd.shards(2),
@@ -442,11 +467,14 @@ SHARD_LAYOUTS: dict[str, Callable] = {
     "with-empty-shards": lambda crowd: crowd.shards(crowd.num_instances + 3),
     "out-of-core-generator": lambda crowd: _out_of_core_source(crowd, 5),
     "observation-budgeted": lambda crowd: (lambda: crowd.iter_shards(16)),
+    "on-disk-handles": lambda crowd: _handle_source(crowd, 4, mmap=True),
+    "on-disk-handles-eager": lambda crowd: _handle_source(crowd, 3, mmap=False),
 }
 
 
 def assert_sharded_matches_batch(
-    name: str, crowd, make_source: Callable, atol: float = 1e-10
+    name: str, crowd, make_source: Callable, atol: float = 1e-10,
+    executor=None, workers: int | None = None,
 ) -> None:
     """Pin one sharded method to its batch twin on one crowd and layout.
 
@@ -454,10 +482,14 @@ def assert_sharded_matches_batch(
     iteration count, and the per-annotator / per-instance extras the
     method family reports (weights, α, β) — convergence behaviour and the
     annotator model are part of the contract, not just the posterior.
+    ``executor`` / ``workers`` forward to :func:`run_sharded`, so the same
+    pin can be taken through a thread or process pool.
     """
     params = METHOD_OVERRIDES.get(("sharded", name), {})
     expected = get_method(name, kind="classification", **params).infer(crowd)
-    result = run_sharded(name, make_source(crowd), **params)
+    result = run_sharded(
+        name, make_source(crowd), executor=executor, workers=workers, **params
+    )
     context = f"method={name} kind=sharded"
     np.testing.assert_allclose(
         result.posterior, expected.posterior, atol=atol, rtol=0,

@@ -97,6 +97,21 @@ def test_sharded_matches_batch_across_layouts(name, case, layout):
     assert_sharded_matches_batch(name, crowd, SHARD_LAYOUTS[layout], atol=1e-10)
 
 
+@pytest.mark.parametrize("name", available_methods("sharded"))
+def test_sharded_matches_batch_under_process_pool(name):
+    """The worker-count half of the contract: the on-disk handle layout
+    through a 2-worker process pool (built by ``workers=``, shard-warming
+    initializer and all) still reproduces the batch twin at atol 1e-10."""
+    case = {
+        case.name: case
+        for case in crowd_cases("classification")
+    }["binary-sparse-adversarial" if name == "GLAD" else "multiclass-midsize"]
+    crowd = case.build()
+    assert_sharded_matches_batch(
+        name, crowd, SHARD_LAYOUTS["on-disk-handles"], atol=1e-10, workers=2
+    )
+
+
 def test_every_registered_method_has_a_reference():
     """Forcing function: a newly registered method without an executable
     specification (pre-refactor implementation, or batch twin for

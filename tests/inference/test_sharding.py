@@ -1,17 +1,20 @@
-"""Shard-and-merge layer tests: ShardStats algebra, degenerate shard
-layouts, shard sources, the run_sharded driver, and the executor hook.
+"""Shard-and-merge layer tests: ShardStats algebra, the deterministic
+tree reduce, degenerate shard layouts, shard sources, the run_sharded
+driver, the executor hooks (thread and process), the shard file format,
+and the pickle boundary.
 
 The full method × crowd × layout equivalence sweep lives in
 ``test_equivalence_harness.py``; this file covers the merge primitive and
 the plumbing the sweep rides on.
 """
 
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
-from repro.crowd.sharding import SparseLabelShard
+from repro.crowd.sharding import ShardHandle, SparseLabelShard, save_shard_handles
 from repro.crowd.types import MISSING, CrowdLabelMatrix
 from repro.inference import (
     ShardedDawidSkene,
@@ -20,10 +23,16 @@ from repro.inference import (
     get_method,
     merge_shard_stats,
     run_sharded,
+    tree_merge_shard_stats,
 )
 from repro.inference.majority_vote import majority_vote_posterior
 from repro.inference.primitives import confusion_counts
-from repro.inference.sharding import as_shard_source, shard_base_stats
+from repro.inference.sharding import (
+    TreeReducer,
+    _window_size,
+    as_shard_source,
+    shard_base_stats,
+)
 
 from .equivalence_harness import random_classification_crowd
 
@@ -111,6 +120,71 @@ class TestShardStatsMerge:
         np.testing.assert_allclose(
             merged.class_totals, whole.class_totals, atol=1e-12, rtol=0
         )
+
+
+def _assert_stats_equal(left: ShardStats, right: ShardStats) -> None:
+    """Bit-for-bit equality over every populated ShardStats field."""
+    assert (left.instances, left.observations, left.unannotated) == (
+        right.instances, right.observations, right.unannotated,
+    )
+    assert left.log_likelihood == right.log_likelihood
+    assert left.delta == right.delta
+    for field in ("confusion", "class_totals", "vote_totals", "agreement",
+                  "label_counts", "grad_alpha"):
+        a, b = getattr(left, field), getattr(right, field)
+        assert (a is None) == (b is None), field
+        if a is not None:
+            np.testing.assert_array_equal(a, b, err_msg=field)
+
+
+class TestTreeReduce:
+    """The merge *shape* is part of the numerical contract: a pure
+    function of the leaf count, independent of completion timing."""
+
+    def test_empty_is_identity(self):
+        assert TreeReducer().result().instances == 0
+        _assert_stats_equal(tree_merge_shard_stats([]), ShardStats())
+
+    def test_single_leaf_passes_through(self, crowd):
+        stats = _stats_from(crowd.shards(1)[0])
+        _assert_stats_equal(tree_merge_shard_stats([stats]), stats)
+
+    def test_four_leaves_merge_pairwise(self, crowd):
+        a, b, c, d = (_stats_from(shard) for shard in crowd.shards(4))
+        expected = (a.merge(b)).merge(c.merge(d))
+        _assert_stats_equal(tree_merge_shard_stats([a, b, c, d]), expected)
+
+    def test_odd_leaf_joins_smallest_first(self, crowd):
+        a, b, c = (_stats_from(shard) for shard in crowd.shards(3))
+        # Binary-counter fold: the leftover leaf c merges into (a·b).
+        _assert_stats_equal(tree_merge_shard_stats([a, b, c]), a.merge(b).merge(c))
+        # Seven leaves: ((e·f)·g) joins ((a·b)·(c·d)) — levels low→high.
+        leaves = [_stats_from(shard) for shard in crowd.shards(7)]
+        a, b, c, d, e, f, g = leaves
+        expected = (a.merge(b).merge(c.merge(d))).merge(e.merge(f).merge(g))
+        _assert_stats_equal(tree_merge_shard_stats(leaves), expected)
+
+    def test_result_is_pure(self, crowd):
+        reducer = TreeReducer()
+        for shard in crowd.shards(5):
+            reducer.push(_stats_from(shard))
+        _assert_stats_equal(reducer.result(), reducer.result())
+        assert reducer.count == 5
+
+    def test_identity_leaves_do_not_change_integer_fields(self, crowd):
+        stats = _stats_from(crowd.shards(1)[0])
+        merged = tree_merge_shard_stats([ShardStats(), stats, ShardStats()])
+        assert merged.instances == stats.instances
+        assert merged.observations == stats.observations
+        np.testing.assert_array_equal(merged.label_counts, stats.label_counts)
+
+    def test_matches_left_fold_to_rounding(self, crowd):
+        leaves = [_stats_from(shard) for shard in crowd.shards(7)]
+        tree = tree_merge_shard_stats(leaves)
+        fold = merge_shard_stats(leaves)
+        assert tree.instances == fold.instances
+        np.testing.assert_array_equal(tree.label_counts, fold.label_counts)
+        np.testing.assert_allclose(tree.confusion, fold.confusion, atol=1e-12, rtol=0)
 
 
 class TestDegenerateShardLayouts:
@@ -274,6 +348,304 @@ class TestExecutorHook:
         # Window is 2 × max_workers = 4 (+1 for the item pulled before
         # the oldest future's result is claimed).
         assert state["max_outstanding"] <= 5
+
+    def test_explicit_window_bounds_in_flight_items(self):
+        """Satellite contract: window= is an explicit argument, not a peek
+        at executor internals."""
+        from repro.inference.sharding import ShardedTruthInference
+
+        state = {"issued": 0, "consumed": 0, "max_outstanding": 0}
+
+        def items():
+            for index in range(30):
+                state["issued"] += 1
+                outstanding = state["issued"] - state["consumed"]
+                state["max_outstanding"] = max(state["max_outstanding"], outstanding)
+                yield index
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = []
+            for value in ShardedTruthInference._map_results(
+                lambda item: item + 1, items(), pool, window=2
+            ):
+                state["consumed"] += 1
+                results.append(value)
+        assert results == [index + 1 for index in range(30)]
+        assert state["max_outstanding"] <= 3  # window 2 (+1 pre-claim pull)
+
+    def test_window_default_without_max_workers_attribute(self):
+        """Executors that don't expose the stdlib's private _max_workers
+        fall back to os.cpu_count(), not a hard-coded guess."""
+        import os
+
+        class OpaqueExecutor:
+            pass
+
+        expected = max(2 * (os.cpu_count() or 1), 2)
+        assert _window_size(OpaqueExecutor(), None) == expected
+        assert _window_size(OpaqueExecutor(), 7) == 7
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            _window_size(None, 0)
+
+    def test_window_forwarded_through_run_sharded(self, crowd):
+        serial = run_sharded("DS", crowd.shards(5), max_iterations=4, tolerance=0.0)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            windowed = run_sharded(
+                "DS", crowd.shards(5), executor=pool, window=1,
+                max_iterations=4, tolerance=0.0,
+            )
+        np.testing.assert_array_equal(serial.posterior, windowed.posterior)
+
+
+@pytest.fixture(scope="module")
+def binary_crowd():
+    return random_classification_crowd(5, instances=70, annotators=8, classes=2)
+
+
+class TestExecutorBitIdentity:
+    """Satellite contract: for a fixed shard layout, serial, thread-pool,
+    and process-pool execution produce bit-identical posteriors — the
+    tree reduce plus submission-order consumption make merge order a pure
+    function of shard count."""
+
+    BUDGETS = {
+        "DS": {"max_iterations": 6, "tolerance": 0.0},
+        "PM": {"max_iterations": 6, "tolerance": 0.0},
+        "GLAD": {"em_iterations": 3, "gradient_steps": 3},
+    }
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    @pytest.mark.parametrize("name", ["DS", "PM", "GLAD"])
+    def test_serial_thread_process_bit_identical(
+        self, crowd, binary_crowd, tmp_path, name, num_shards
+    ):
+        source = binary_crowd if name == "GLAD" else crowd
+        handles = save_shard_handles(
+            source, tmp_path / f"{name}-{num_shards}.npy", num_shards
+        )
+        overrides = self.BUDGETS[name]
+        serial = run_sharded(name, handles, **overrides)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            threaded = run_sharded(name, handles, executor=pool, **overrides)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            processed = run_sharded(name, handles, executor=pool, **overrides)
+        # Not allclose — array_equal. Bit-identity is the contract.
+        np.testing.assert_array_equal(serial.posterior, threaded.posterior)
+        np.testing.assert_array_equal(serial.posterior, processed.posterior)
+        if serial.confusions is not None:
+            np.testing.assert_array_equal(serial.confusions, processed.confusions)
+        for key in ("weights", "alpha", "beta"):
+            if key in serial.extras:
+                np.testing.assert_array_equal(
+                    serial.extras[key], processed.extras[key], err_msg=key
+                )
+
+    def test_stats_arrays_are_layout_canonical(self):
+        """Regression: mappers hand ShardStats strided views (einsum
+        transposes); a pickle round trip rewrites those C-contiguous, and
+        numpy reductions order additions by memory layout — so without
+        canonicalization at construction, serial and process runs sum the
+        merged confusion in different orders and diverge in the last bits."""
+        view = np.arange(47 * 9 * 9, dtype=np.float64).reshape(47, 9, 9)
+        stats = ShardStats(confusion=view.transpose(0, 2, 1))
+        assert stats.confusion.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(stats.confusion, view.transpose(0, 2, 1))
+
+    def test_wide_crowd_regression(self, tmp_path):
+        """The observed failure case for the layout bug: J=47, K=9 — large
+        enough that the confusion reduction's addition order shows up in
+        the bits. Small test crowds never caught it."""
+        wide = random_classification_crowd(11, instances=150, annotators=47, classes=9)
+        [handle] = save_shard_handles(wide, tmp_path / "wide.npy", 1)
+        serial = run_sharded("DS", [handle], max_iterations=4, tolerance=0.0)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            processed = run_sharded(
+                "DS", [handle], executor=pool, max_iterations=4, tolerance=0.0
+            )
+        np.testing.assert_array_equal(serial.posterior, processed.posterior)
+        np.testing.assert_array_equal(serial.confusions, processed.confusions)
+
+
+class TestProcessExecutor:
+    def test_workers_spills_in_memory_shards(self, crowd):
+        """workers=N on an in-memory layout: shards are written to handle
+        form behind the scenes; the result is bit-identical to serial."""
+        serial = run_sharded("DS", crowd.shards(4), max_iterations=5, tolerance=0.0)
+        parallel = run_sharded(
+            "DS", crowd.shards(4), workers=2, max_iterations=5, tolerance=0.0
+        )
+        np.testing.assert_array_equal(serial.posterior, parallel.posterior)
+        np.testing.assert_array_equal(serial.confusions, parallel.confusions)
+
+    def test_workers_with_lazy_source_pickles_shards_per_task(self, crowd):
+        """A callable source under workers=N still works: yielded shards
+        cross the pickle boundary directly (no spill for lazy sources)."""
+
+        def source():
+            for shard in crowd.shards(3):
+                yield shard.to_sparse()
+
+        serial = run_sharded("PM", source, max_iterations=4, tolerance=0.0)
+        parallel = run_sharded("PM", source, workers=2, max_iterations=4, tolerance=0.0)
+        np.testing.assert_array_equal(serial.posterior, parallel.posterior)
+
+    def test_workers_and_executor_are_mutually_exclusive(self, crowd):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with pytest.raises(TypeError, match="not both"):
+                run_sharded("MV", crowd.shards(2), executor=pool, workers=2)
+
+    def test_workers_must_be_positive(self, crowd):
+        with pytest.raises(ValueError, match="worker"):
+            run_sharded("MV", crowd.shards(2), workers=0)
+
+    def test_user_process_pool_with_handles(self, crowd, tmp_path):
+        """A caller-owned ProcessPoolExecutor (no shard-warming
+        initializer) resolves handles on demand in the workers."""
+        handles = save_shard_handles(crowd, tmp_path / "crowd.npy", 4)
+        expected = get_method("DS", kind="classification").infer(crowd)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            result = run_sharded("DS", handles, executor=pool)
+        np.testing.assert_allclose(result.posterior, expected.posterior, atol=1e-10, rtol=0)
+        assert result.extras["iterations"] == expected.extras["iterations"]
+
+
+class TestShardFileFormat:
+    def test_npy_round_trip_mmap_and_eager(self, crowd, tmp_path):
+        shard = crowd.shards(1)[0].to_sparse()
+        path = shard.save(tmp_path / "shard.npy")
+        for mmap in (True, False):
+            loaded = SparseLabelShard.load(path, mmap=mmap)
+            for a, b in zip(loaded.flat_label_pairs(), shard.flat_label_pairs()):
+                np.testing.assert_array_equal(a, b)
+            assert loaded.num_instances == shard.num_instances
+            assert loaded.num_annotators == shard.num_annotators
+            assert loaded.num_classes == shard.num_classes
+            np.testing.assert_array_equal(loaded.vote_counts(), shard.vote_counts())
+
+    def test_npz_round_trip(self, crowd, tmp_path):
+        shard = crowd.shards(1)[0].to_sparse()
+        path = shard.save(tmp_path / "shard.npz")
+        loaded = SparseLabelShard.load(path)
+        np.testing.assert_array_equal(loaded.vote_counts(), shard.vote_counts())
+
+    def test_sparse_incidence_flag_survives_save_load(self, crowd, tmp_path):
+        rows, annotators, given = crowd.flat_label_pairs()
+        shard = SparseLabelShard(
+            rows, annotators, given,
+            num_instances=crowd.num_instances,
+            num_annotators=crowd.num_annotators,
+            num_classes=crowd.num_classes,
+            sparse_incidence=False,
+        )
+        loaded = SparseLabelShard.load(shard.save(tmp_path / "no-csr.npy"))
+        assert loaded.label_incidence() is None
+
+    def test_empty_shard_round_trip(self, tmp_path):
+        empty = SparseLabelShard(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            num_instances=0, num_annotators=4, num_classes=2,
+        )
+        loaded = SparseLabelShard.load(empty.save(tmp_path / "empty.npy"))
+        assert loaded.num_instances == 0
+        assert loaded.total_annotations() == 0
+
+    def test_non_shard_file_rejected(self, tmp_path):
+        path = tmp_path / "other.npy"
+        np.save(path, np.arange(8, dtype=np.int64))
+        with pytest.raises(ValueError, match="not a shard file"):
+            SparseLabelShard.load(path)
+
+    def test_handle_range_localizes_in_file_coordinates(self, crowd, tmp_path):
+        handles = save_shard_handles(crowd, tmp_path / "crowd.npy", 3)
+        assert sum(h.num_instances for h in handles) == crowd.num_instances
+        opened = [handle.open() for handle in handles]
+        np.testing.assert_array_equal(
+            np.concatenate([s.vote_counts() for s in opened], axis=0),
+            crowd.vote_counts(),
+        )
+
+    def test_handle_dims_cross_checked_against_header(self, crowd, tmp_path):
+        [handle] = save_shard_handles(crowd, tmp_path / "crowd.npy", 1)
+        import dataclasses
+
+        with pytest.raises(ValueError, match="disagree"):
+            dataclasses.replace(handle, num_classes=handle.num_classes + 1).open()
+        with pytest.raises(ValueError, match="declares"):
+            dataclasses.replace(handle, num_instances=handle.num_instances + 5).open()
+
+    def test_range_handle_over_unsorted_file_rejected(self, tmp_path):
+        shard = SparseLabelShard(
+            np.array([3, 0, 2]), np.array([0, 1, 2]), np.array([1, 0, 1]),
+            num_instances=4, num_annotators=3, num_classes=2,
+        )
+        path = shard.save(tmp_path / "unsorted.npy")
+        handle = ShardHandle(
+            path=str(path), num_instances=2, num_annotators=3, num_classes=2,
+            start=0, stop=2,
+        )
+        with pytest.raises(ValueError, match="row-sorted"):
+            handle.open()
+
+    def test_save_shard_handles_sorts_unsorted_input(self, tmp_path):
+        shard = SparseLabelShard(
+            np.array([3, 0, 2]), np.array([0, 1, 2]), np.array([1, 0, 1]),
+            num_instances=4, num_annotators=3, num_classes=2,
+        )
+        handles = save_shard_handles(shard, tmp_path / "sorted.npy", 2)
+        opened = [handle.open() for handle in handles]
+        np.testing.assert_array_equal(
+            np.concatenate([s.vote_counts() for s in opened], axis=0),
+            shard.vote_counts(),
+        )
+
+
+class TestSparseLabelShardPickle:
+    """Satellite regression: pickling must drop built caches (the CSR
+    incidence in particular) and preserve the sparse_incidence flag."""
+
+    def test_built_incidence_cache_is_dropped(self, crowd):
+        shard = crowd.shards(1)[0].to_sparse()
+        assert shard.label_incidence() is not None  # build the cache
+        assert "_incidence_cache" in shard.__dict__
+        clone = pickle.loads(pickle.dumps(shard))
+        assert "_incidence_cache" not in clone.__dict__
+        # The clone rebuilds on demand and computes the same thing.
+        np.testing.assert_array_equal(
+            np.asarray(clone.label_incidence().todense()),
+            np.asarray(shard.label_incidence().todense()),
+        )
+
+    def test_sparse_incidence_false_round_trips(self, crowd):
+        rows, annotators, given = crowd.flat_label_pairs()
+        shard = SparseLabelShard(
+            rows, annotators, given,
+            num_instances=crowd.num_instances,
+            num_annotators=crowd.num_annotators,
+            num_classes=crowd.num_classes,
+            sparse_incidence=False,
+        )
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone.label_incidence() is None  # the flag's promise holds
+        np.testing.assert_array_equal(clone.vote_counts(), shard.vote_counts())
+
+    def test_payload_carries_no_csr(self, crowd):
+        """The serialized form must not grow when a cache happens to be
+        built — what goes over the pickle boundary is triples + dims."""
+        shard = crowd.shards(1)[0].to_sparse()
+        cold = len(pickle.dumps(shard))
+        shard.label_incidence()
+        warm = len(pickle.dumps(shard))
+        assert warm == cold
+
+    def test_memmap_backed_shard_pickles_as_plain_arrays(self, crowd, tmp_path):
+        shard = crowd.shards(1)[0].to_sparse()
+        loaded = SparseLabelShard.load(shard.save(tmp_path / "shard.npy"), mmap=True)
+        clone = pickle.loads(pickle.dumps(loaded))
+        assert not isinstance(clone.flat_label_pairs()[1], np.memmap)
+        np.testing.assert_array_equal(clone.vote_counts(), shard.vote_counts())
 
 
 class TestOutOfCore:

@@ -5,7 +5,8 @@ interpreter, exactly as CI would) and fails if it errors — so a change
 that breaks any seed-vs-live equivalence check (fused GRU, vectorized
 sequence EM, sparse DS EM, batched forward–backward, sparse GLAD/PM/CATD,
 the width-loop conv1d step, the streaming replay contract, the sharded
-batch-twin contract), or the harness itself, fails the tier-1 suite. The
+batch-twin contract, the multi-core sharded bit-identity gate), or the
+harness itself, fails the tier-1 suite. The
 smoke run finishes in a few seconds; it measures tiny sizes and makes no
 speedup assertions (wall clock on shared CI boxes is not a contract) —
 the one resource bound asserted is the sharded section's peak-memory
@@ -82,3 +83,22 @@ def test_bench_hotpaths_smoke_runs_and_writes_json(tmp_path):
         assert entry["after_peak_bytes"] < entry["before_peak_bytes"]
         assert entry["largest_shard_coo_bytes"] < entry["crowd_label_bytes"]
         assert entry["config"]["shards"] >= 2
+
+    # The sharded_parallel section: shape/contract keys only. The smoke
+    # config runs the process path with 2 workers, so a passing run proves
+    # the pool + shard-handle + broadcast plumbing works end to end (the
+    # bench itself asserts bit-identity to the serial sharded run before
+    # timing). Deliberately NOT asserted: parallel wall clock beating the
+    # serial one — CI boxes have arbitrary core counts, and the payload's
+    # config.cpu_count is exactly how a reader contextualizes the numbers.
+    entry = payload["sharded_parallel"]
+    assert entry["batch_ms"] > 0 and entry["serial_sharded_ms"] > 0
+    assert entry["max_abs_diff"] < 1e-9
+    assert entry["config"]["cpu_count"] >= 1
+    assert entry["config"]["shards"] >= 2
+    assert entry["workers"], "worker sweep must not be empty"
+    for count, run in entry["workers"].items():
+        assert int(count) >= 1
+        assert run["ms"] > 0
+        assert run["speedup_vs_batch"] > 0
+        assert run["speedup_vs_serial_sharded"] > 0
