@@ -40,6 +40,16 @@ frozen seed-commit implementations (``seed_baseline.py``):
   converging must reproduce the full-crowd DS posterior (atol 1e-8, the
   streaming replay contract).
 
+* **dtype** — float64 (reference) vs float32 (fast path) training epochs
+  of the two paper networks: a Kim TextCNN sentiment epoch
+  (``run_classification_epoch``) and a CNN+GRU tagger epoch
+  (``run_sequence_epoch``), same seeds both sides so the float32 model's
+  weights are exactly the rounded float64 draws. Reports epoch wall
+  clock, ``tracemalloc`` peak memory for the training step (the tape +
+  activations dominate), and the max abs initial-logits difference
+  between the twins (gated at 1e-2 — a correctness check that the fast
+  path computes the same network, not a tolerance for sloppiness).
+
 * **sharded** — in-memory batch DS vs. *out-of-core* sharded DS
   (``repro.inference.sharding``): the label matrix lives on disk as COO
   triples, each EM round lazily materializes one
@@ -120,8 +130,20 @@ from seed_baseline import (  # noqa: E402
     seed_streaming_full_recompute,
 )
 
-from repro.autodiff import Tensor, functional as F  # noqa: E402
+from repro.autodiff import Tensor, functional as F, no_grad  # noqa: E402
 from repro.autodiff.nn.rnn import GRU  # noqa: E402
+from repro.baselines.common import (  # noqa: E402
+    TrainerConfig,
+    build_optimizer,
+    run_classification_epoch,
+    run_sequence_epoch,
+)
+from repro.models import (  # noqa: E402
+    NERTagger,
+    NERTaggerConfig,
+    TextCNN,
+    TextCNNConfig,
+)
 from repro.core.em import (  # noqa: E402
     sequence_posterior_qa,
     sequence_update_confusions,
@@ -508,6 +530,134 @@ def bench_conv1d(batch, t_max, dim, width, feats, repeats, rng) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# dtype: float64 reference vs float32 fast-path training epochs
+# --------------------------------------------------------------------- #
+def _measure_dtype_pair(build, repeats) -> dict:
+    """Time one training epoch of ``build(dtype)`` at float64 vs float32.
+
+    ``build`` returns ``(epoch_fn, initial_logits_fn)`` for a freshly
+    constructed same-seed model; the logits gate runs on the untrained
+    weights (eval mode) before any timing touches the parameters.
+    """
+    timings, peaks, logits = {}, {}, {}
+    for dtype in ("float64", "float32"):
+        epoch_fn, logits_fn = build(dtype)
+        logits[dtype] = logits_fn()
+        epoch_fn()  # warm-up: BLAS paths, allocator pools
+        best = np.inf
+        for _ in range(repeats):
+            best = min(best, best_of(epoch_fn, 1))
+        timings[dtype] = best
+        tracemalloc.start()
+        epoch_fn()
+        _, peaks[dtype] = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    max_diff = float(np.abs(logits["float64"] - logits["float32"]).max())
+    if max_diff > 1e-2:
+        raise AssertionError(
+            f"float32 twin diverged from float64 reference at init: {max_diff}"
+        )
+    return {
+        "before_ms": timings["float64"] * 1e3,
+        "after_ms": timings["float32"] * 1e3,
+        "speedup": timings["float64"] / timings["float32"],
+        "before_peak_bytes": int(peaks["float64"]),
+        "after_peak_bytes": int(peaks["float32"]),
+        "max_abs_logit_diff": max_diff,
+    }
+
+
+def bench_dtype(text_cfg, crnn_cfg, repeats, rng) -> dict:
+    """Float32 fast path vs float64 reference on both paper networks."""
+    out = {}
+
+    # --- Kim TextCNN sentiment epoch --------------------------------- #
+    tc = text_cfg
+    embeddings = rng.normal(size=(tc["vocab"], tc["dim"])) * 0.1
+    tokens = rng.integers(0, tc["vocab"], size=(tc["instances"], tc["t_max"]))
+    lengths = conll_like_lengths(rng, tc["instances"], tc["t_max"])
+    targets = np.eye(tc["classes"])[rng.integers(0, tc["classes"], size=tc["instances"])]
+
+    def build_text_cnn(dtype):
+        config = TextCNNConfig(
+            num_classes=tc["classes"], feature_maps=tc["feature_maps"], dtype=dtype
+        )
+        model = TextCNN(embeddings, config, np.random.default_rng(42))
+        trainer = TrainerConfig(
+            epochs=1, batch_size=tc["batch_size"], optimizer="adadelta",
+            learning_rate=1.0, lr_decay_every=None, dtype=dtype,
+        )
+
+        def epoch():
+            model.train()
+            optimizer, _ = build_optimizer(model.parameters(), trainer)
+            run_classification_epoch(
+                model, optimizer, tokens, lengths, targets,
+                np.random.default_rng(7), trainer,
+            )
+
+        def initial_logits():
+            model.eval()
+            with no_grad():
+                return model.logits(tokens[: tc["batch_size"]],
+                                    lengths[: tc["batch_size"]]).numpy()
+
+        return epoch, initial_logits
+
+    out["text_cnn"] = {
+        "config": {"I": tc["instances"], "T": tc["t_max"], "V": tc["vocab"],
+                   "D": tc["dim"], "feature_maps": tc["feature_maps"],
+                   "K": tc["classes"], "batch_size": tc["batch_size"]},
+        **_measure_dtype_pair(build_text_cnn, repeats),
+    }
+
+    # --- CNN+GRU tagger epoch ----------------------------------------- #
+    nc = crnn_cfg
+    ner_embeddings = rng.normal(size=(nc["vocab"], nc["dim"])) * 0.1
+    ner_tokens = rng.integers(0, nc["vocab"], size=(nc["instances"], nc["t_max"]))
+    ner_lengths = conll_like_lengths(rng, nc["instances"], nc["t_max"])
+    ner_targets = np.eye(nc["classes"])[
+        rng.integers(0, nc["classes"], size=(nc["instances"], nc["t_max"]))
+    ]
+
+    def build_crnn(dtype):
+        config = NERTaggerConfig(
+            num_classes=nc["classes"], conv_features=nc["conv_features"],
+            gru_hidden=nc["gru_hidden"], dtype=dtype,
+        )
+        model = NERTagger(ner_embeddings, config, np.random.default_rng(42))
+        trainer = TrainerConfig(
+            epochs=1, batch_size=nc["batch_size"], optimizer="adam",
+            learning_rate=1e-3, lr_decay_every=None, dtype=dtype,
+        )
+
+        def epoch():
+            model.train()
+            optimizer, _ = build_optimizer(model.parameters(), trainer)
+            run_sequence_epoch(
+                model, optimizer, ner_tokens, ner_lengths, ner_targets,
+                np.random.default_rng(7), trainer,
+            )
+
+        def initial_logits():
+            model.eval()
+            with no_grad():
+                return model.logits(ner_tokens[: nc["batch_size"]],
+                                    ner_lengths[: nc["batch_size"]]).numpy()
+
+        return epoch, initial_logits
+
+    out["crnn"] = {
+        "config": {"I": nc["instances"], "T": nc["t_max"], "V": nc["vocab"],
+                   "D": nc["dim"], "conv_features": nc["conv_features"],
+                   "gru_hidden": nc["gru_hidden"], "K": nc["classes"],
+                   "batch_size": nc["batch_size"]},
+        **_measure_dtype_pair(build_crnn, repeats),
+    }
+    return out
+
+
+# --------------------------------------------------------------------- #
 # Streaming truth inference: stepwise EM vs. naive full recompute per batch
 # --------------------------------------------------------------------- #
 def bench_streaming(instances, annotators, classes, batches, iterations, repeats, rng) -> dict:
@@ -776,6 +926,11 @@ def main(argv=None) -> int:
         glad_cfg = dict(instances=200, annotators=47, em_iterations=3)
         pm_catd_cfg = dict(instances=300, annotators=47, classes=9)
         conv_cfg = dict(batch=8, t_max=20, dim=64, width=5, feats=16)
+        dtype_text_cfg = dict(instances=24, t_max=20, vocab=200, dim=32,
+                              feature_maps=8, classes=5, batch_size=12)
+        dtype_crnn_cfg = dict(instances=12, t_max=20, vocab=200, dim=32,
+                              conv_features=32, gru_hidden=16, classes=9, batch_size=6)
+        dtype_repeats = 2
         streaming_cfg = dict(instances=200, annotators=47, classes=3, batches=5, iterations=8)
         sharded_cfg = dict(instances=400, annotators=47, classes=9, iterations=8, shards=4)
         sharded_paper_cfg = dict(instances=200, annotators=47, classes=9, iterations=5, shards=2)
@@ -794,6 +949,14 @@ def main(argv=None) -> int:
         pm_catd_cfg = dict(instances=2000, annotators=47, classes=9)
         # Tagger embedding scale: width-5 conv over 300-d GloVe vectors.
         conv_cfg = dict(batch=32, t_max=50, dim=300, width=5, feats=100)
+        # Paper-scale epochs, instance counts trimmed so both dtype twins
+        # finish in seconds: the per-step work (conv/GRU GEMM shapes) is
+        # exactly the tagger/sentiment training step.
+        dtype_text_cfg = dict(instances=200, t_max=50, vocab=5000, dim=300,
+                              feature_maps=100, classes=5, batch_size=50)
+        dtype_crnn_cfg = dict(instances=64, t_max=50, vocab=5000, dim=300,
+                              conv_features=512, gru_hidden=50, classes=9, batch_size=32)
+        dtype_repeats = 3
         # A day of label traffic arriving in 10 drops at sentiment scale.
         streaming_cfg = dict(instances=1500, annotators=47, classes=5, batches=10, iterations=30)
         # Out-of-core DS. Headline at serving scale (10× the paper's
@@ -822,6 +985,8 @@ def main(argv=None) -> int:
         "glad": bench_glad(repeats=max(repeats // 2, 1), rng=rng, **glad_cfg),
         "pm_catd": bench_pm_catd(repeats=max(repeats // 2, 1), rng=rng, **pm_catd_cfg),
         "conv1d": bench_conv1d(repeats=repeats, rng=rng, **conv_cfg),
+        "dtype": bench_dtype(dtype_text_cfg, dtype_crnn_cfg,
+                             repeats=dtype_repeats, rng=rng),
         "streaming": bench_streaming(repeats=max(repeats // 2, 1), rng=rng, **streaming_cfg),
         # Full repeats here: the sharded comparison is the noisiest (two
         # allocation-heavy sides), so best-of needs more draws.
@@ -850,6 +1015,13 @@ def main(argv=None) -> int:
         entry = results[section]
         print(f"{label} : {entry['before_ms']:8.2f} ms → {entry['after_ms']:8.2f} ms "
               f"({entry['speedup']:.2f}x, diff {entry['max_abs_diff']:.1e})")
+    for label, network in (("TextCNN", "text_cnn"), ("CRNN tagger", "crnn")):
+        entry = results["dtype"][network]
+        print(f"  dtype {label}: f64 {entry['before_ms']:.1f} ms → f32 "
+              f"{entry['after_ms']:.1f} ms ({entry['speedup']:.2f}x), peak "
+              f"{entry['before_peak_bytes'] / 2**20:.1f} → "
+              f"{entry['after_peak_bytes'] / 2**20:.1f} MiB, "
+              f"init-logit diff {entry['max_abs_logit_diff']:.1e}")
     entry = results["streaming"]
     print("  streaming per-update (first → last): "
           f"naive {entry['before_first_update_ms']:.2f} → {entry['before_last_update_ms']:.2f} ms, "

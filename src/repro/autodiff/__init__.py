@@ -3,20 +3,53 @@
 Public surface::
 
     from repro.autodiff import Tensor, no_grad, tape_node_count
+    from repro.autodiff import set_default_dtype, get_default_dtype, default_dtype
     from repro.autodiff import functional as F
-    from repro.autodiff import nn, optim
+    from repro.autodiff import nn, optim, vjps
+
+Backward pass: every op records ``(primitive name, parents, ctx)`` on the
+tape; gradients are produced by the per-primitive VJP functions in the
+registry (:mod:`repro.autodiff.vjps`). Registering a new primitive means
+one ``defvjp``/``defvjp_fused`` call plus a gradcheck case — a meta-test
+sweeps the registry so an op cannot land without gradient coverage.
+
+Precision policy (:mod:`repro.autodiff.dtypes`): float64 is the reference
+path — every equivalence contract and gradcheck runs there, unchanged —
+while float32 is the training fast path (~2x GEMM throughput, half the
+tape memory). ``set_default_dtype``/``default_dtype`` scope the ambient
+default used for scalars, coercions and parameter init; arrays that are
+already float32/float64 keep their dtype when wrapped.
 
 Performance design (see :mod:`repro.autodiff.tensor` for details): ops
-skip closure construction entirely under :class:`no_grad` or on constant
-inputs, scalar constants are interned, basic-slice gradients accumulate in
-place, and the recurrent hot path is fused — a whole GRU layer (input
-projection + packed time loop) is a single tape node
+skip tape recording entirely under :class:`no_grad` or on constant
+inputs, scalar constants are interned per dtype, basic-slice gradients
+accumulate in place, and the recurrent hot path is fused — a whole GRU
+layer (input projection + packed time loop) is a single tape node
 (:func:`repro.autodiff.functional.gru_sequence`). ``tape_node_count``
 exposes a monotonic counter of recorded tape entries for regression tests
 and benchmarks.
 """
 
-from . import functional
+from . import functional, vjps
+from .dtypes import (
+    default_dtype,
+    equivalence_atol,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from .tensor import Tensor, is_grad_enabled, no_grad, tape_node_count
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tape_node_count", "functional"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tape_node_count",
+    "functional",
+    "vjps",
+    "default_dtype",
+    "equivalence_atol",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+]

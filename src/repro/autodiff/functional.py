@@ -14,7 +14,7 @@ These are the composite operations the paper's two architectures require:
   multi-window CNNs and the GRU time loop;
 * ``gru_sequence`` — the production GRU hot path: the entire layer
   (whole-sequence input projection + packed time loop) as a *single* tape
-  node with a hand-derived BPTT closure (the fused sigmoid/tanh-with-grad
+  node with a hand-derived BPTT rule (the fused sigmoid/tanh-with-grad
   path); ``gru_step`` is the same fused math for one timestep (a tested
   building block, not on the production path — with ``unbind`` it gives a
   2-nodes-per-step loop, vs ~12 for the per-gate cell);
@@ -22,9 +22,18 @@ These are the composite operations the paper's two architectures require:
   against *distributions* ``qf(t)`` (paper Eq. 8/10), not hard labels, so the
   losses accept a full target distribution and optional per-instance weights
   (the ``num(J(i))`` weighting of Eq. 10).
+
+Each op here only computes the forward value and records a tape entry
+naming its primitive plus the saved context; the matching gradient rules
+live in the VJP registry (:mod:`repro.autodiff.vjps`). Ops compute in the
+NumPy-promoted dtype of their inputs (scratch buffers included), so a
+float32 model runs its whole forward *and* backward in float32; losses
+coerce their constant targets/weights to the logits dtype.
 """
 
 from __future__ import annotations
+
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -57,6 +66,11 @@ def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
     return 0.5 * (1.0 + np.tanh(0.5 * x))
 
 
+def _cast(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``array`` at ``dtype``, without a copy when it already matches."""
+    return array if array.dtype == dtype else array.astype(dtype)
+
+
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Look up rows of ``weight`` for integer ``indices``.
 
@@ -71,13 +85,7 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     if not np.issubdtype(idx.dtype, np.integer):
         raise TypeError(f"embedding indices must be integers, got {idx.dtype}")
     out_data = weight.data[idx]
-
-    def backward_fn(grad: np.ndarray) -> None:
-        full = np.zeros_like(weight.data)
-        np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.data.shape[1]))
-        weight._accumulate(full)
-
-    return Tensor._make(out_data, (weight,), backward_fn)
+    return Tensor._make(out_data, (weight,), "embedding", (weight.data, idx))
 
 
 def _sliding_windows(data: np.ndarray, width: int) -> np.ndarray:
@@ -191,7 +199,11 @@ def conv1d_seq(
             out_data = out_data + bias.data
     else:
         feats = weight.data.shape[1]
-        out_data = np.zeros((batch, out_time, feats))
+        if bias is None:
+            out_dtype = np.result_type(data, weight.data)
+        else:
+            out_dtype = np.result_type(data, weight.data, bias.data)
+        out_data = np.zeros((batch, out_time, feats), dtype=out_dtype)
         for offset in range(width):
             block = weight.data[offset * dim : (offset + 1) * dim]
             out_data += data[:, offset : offset + out_time, :] @ block
@@ -199,50 +211,14 @@ def conv1d_seq(
             out_data += bias.data
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-
-    def backward_im2col(grad: np.ndarray) -> None:
-        if bias is not None and bias._tracked:
-            bias._accumulate(grad.sum(axis=(0, 1)))
-        if weight._tracked:
-            # (width*D, F) = sum_b cols_b^T @ grad_b
-            wgrad = np.einsum("btk,btf->kf", cols, grad)
-            weight._accumulate(wgrad)
-        if x._tracked:
-            gcols = grad @ weight.data.T          # (B, T_out, width*D)
-            gcols = gcols.reshape(batch, -1, width, dim)
-            xgrad = np.zeros_like(data)
-            for offset in range(width):
-                xgrad[:, offset : offset + gcols.shape[1], :] += gcols[:, :, offset, :]
-            if pad == "same":
-                xgrad = xgrad[:, left : left + time, :]
-            x._accumulate(xgrad)
-
-    def backward_width_loop(grad: np.ndarray) -> None:
-        if bias is not None and bias._tracked:
-            bias._accumulate(grad.sum(axis=(0, 1)))
-        if weight._tracked:
-            # Per-offset (D, F) GEMMs into the fused weight gradient; peak
-            # extra memory is one contiguous input-sized block, never the
-            # (B, T_out, width*D) window expansion.
-            wgrad = np.empty_like(weight.data)
-            grad_flat = grad.reshape(batch * out_time, -1)
-            for offset in range(width):
-                block = np.ascontiguousarray(
-                    data[:, offset : offset + out_time, :]
-                ).reshape(batch * out_time, dim)
-                np.matmul(block.T, grad_flat, out=wgrad[offset * dim : (offset + 1) * dim])
-            weight._accumulate(wgrad)
-        if x._tracked:
-            xgrad = np.zeros_like(data)
-            for offset in range(width):
-                block = weight.data[offset * dim : (offset + 1) * dim]
-                xgrad[:, offset : offset + out_time, :] += grad @ block.T
-            if pad == "same":
-                xgrad = xgrad[:, left : left + time, :]
-            x._accumulate(xgrad)
-
-    backward_fn = backward_im2col if variant == "im2col" else backward_width_loop
-    return Tensor._make(out_data, parents, backward_fn)
+    if not _tracking(*parents):
+        return Tensor(out_data)
+    same = pad == "same"
+    if variant == "im2col":
+        ctx = (cols, weight.data, data.shape, width, dim, same, left, time)
+        return Tensor._link(out_data, parents, "conv1d_im2col", ctx)
+    ctx = (data, weight.data, width, dim, out_time, same, left, time)
+    return Tensor._link(out_data, parents, "conv1d_width_loop", ctx)
 
 
 def max_over_time(x: Tensor, mask: np.ndarray | None = None) -> Tensor:
@@ -269,11 +245,7 @@ def max_over_time(x: Tensor, mask: np.ndarray | None = None) -> Tensor:
     argmax_mask = data == data.max(axis=1, keepdims=True)
     first = np.cumsum(argmax_mask, axis=1) == 1
     argmax_mask = argmax_mask & first
-
-    def backward_fn(grad: np.ndarray) -> None:
-        x._accumulate(argmax_mask * grad[:, None, :])
-
-    return Tensor._link(out_data, (x,), backward_fn)
+    return Tensor._link(out_data, (x,), "max_over_time", (argmax_mask,))
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -281,12 +253,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (grad - dot))
-
-    return Tensor._make(out_data, (x,), backward_fn)
+    return Tensor._make(out_data, (x,), "softmax", (axis,))
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -294,31 +261,27 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - log_norm
+    if not _tracking(x):
+        return Tensor(out_data)
     soft = np.exp(out_data)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
-
-    return Tensor._make(out_data, (x,), backward_fn)
+    return Tensor._link(out_data, (x,), "log_softmax", (soft, axis))
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
     """Inverted dropout: scales kept activations by ``1/(1-rate)``.
 
     The RNG is passed explicitly so training runs are reproducible end to
-    end (DESIGN.md scaling policy).
+    end (DESIGN.md scaling policy). The keep mask is built in the input's
+    dtype so a float32 activation stream stays float32.
     """
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     if not training or rate == 0.0:
         return x
     keep = 1.0 - rate
-    mask = (rng.random(x.data.shape) < keep) / keep
-
-    def backward_fn(grad: np.ndarray) -> None:
-        x._accumulate(grad * mask)
-
-    return Tensor._make(x.data * mask, (x,), backward_fn)
+    mask = (rng.random(x.data.shape) < keep).astype(x.data.dtype)
+    mask /= keep
+    return Tensor._make(x.data * mask, (x,), "dropout", (mask,))
 
 
 def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
@@ -328,14 +291,7 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            index = [slice(None)] * grad.ndim
-            index[axis] = slice(start, stop)
-            tensor._accumulate(grad[tuple(index)])
-
-    return Tensor._make(out_data, tuple(tensors), backward_fn)
+    return Tensor._make(out_data, tuple(tensors), "concat", (axis, offsets))
 
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
@@ -343,13 +299,7 @@ def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ValueError("stack requires at least one tensor")
     out_data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward_fn(grad: np.ndarray) -> None:
-        slices = np.moveaxis(grad, axis, 0)
-        for tensor, piece in zip(tensors, slices):
-            tensor._accumulate(piece)
-
-    return Tensor._make(out_data, tuple(tensors), backward_fn)
+    return Tensor._make(out_data, tuple(tensors), "stack", (axis,))
 
 
 def unbind(x: Tensor, axis: int = 0) -> list[Tensor]:
@@ -371,11 +321,7 @@ def unbind(x: Tensor, axis: int = 0) -> list[Tensor]:
         if not tracked:
             pieces.append(Tensor(piece_data))
             continue
-
-        def backward_fn(grad: np.ndarray, index=index) -> None:
-            x._accumulate_at(index, grad)
-
-        pieces.append(Tensor._link(piece_data, (x,), backward_fn))
+        pieces.append(Tensor._link(piece_data, (x,), "unbind", (index,)))
     return pieces
 
 
@@ -404,9 +350,9 @@ def gru_step(gx: Tensor, h: Tensor, w_h: Tensor, mask: np.ndarray | None = None)
         Optional ``(B,)`` float validity mask; padded rows (0) copy the
         previous state forward, exactly as the pre-fusion time loop did.
 
-    The backward closure re-derives all six gate gradients analytically
-    from the saved activations (the fused sigmoid/tanh-with-grad path), so
-    no intermediate tensors ever land on the tape.
+    The registered VJP re-derives all six gate gradients analytically from
+    the saved activations (the fused sigmoid/tanh-with-grad path), so no
+    intermediate tensors ever land on the tape.
     """
     hidden = h.data.shape[1]
     if gx.data.shape != (h.data.shape[0], 3 * hidden):
@@ -423,37 +369,15 @@ def gru_step(gx: Tensor, h: Tensor, w_h: Tensor, mask: np.ndarray | None = None)
 
     m = None
     if mask is not None:
-        m = np.asarray(mask, dtype=np.float64).reshape(-1, 1)
+        m = np.asarray(mask, dtype=h_new.dtype).reshape(-1, 1)
         out_data = h_new * m + h.data * (1.0 - m)
     else:
         out_data = h_new
 
     if not _tracking(gx, h, w_h):
         return Tensor(out_data)
-
-    h_prev = h.data
-
-    def backward_fn(grad: np.ndarray) -> None:
-        if m is not None:
-            d_new = grad * m
-            d_prev = grad * (1.0 - m) + d_new * z
-        else:
-            d_new = grad
-            d_prev = d_new * z
-        da_n = d_new * (1.0 - z) * (1.0 - n * n)     # through tanh
-        dr = da_n * gh_n
-        da_z = d_new * (h_prev - n) * z * (1.0 - z)  # through sigmoid(z)
-        da_r = dr * r * (1.0 - r)                    # through sigmoid(r)
-        dgh = np.concatenate([da_r, da_z, da_n * r], axis=1)
-        d_prev = d_prev + dgh @ w_h.data.T
-        if w_h._tracked:
-            w_h._accumulate(h_prev.T @ dgh)
-        if h._tracked:
-            h._accumulate(d_prev)
-        if gx._tracked:
-            gx._accumulate(np.concatenate([da_r, da_z, da_n], axis=1))
-
-    return Tensor._link(out_data, (gx, h, w_h), backward_fn)
+    ctx = (r, z, n, gh_n, h.data, w_h.data, m)
+    return Tensor._link(out_data, (gx, h, w_h), "gru_step", ctx)
 
 
 def _prefix_lengths(mask: np.ndarray) -> np.ndarray | None:
@@ -501,10 +425,14 @@ def gru_sequence(
       prefix of the batch, so padded positions cost a row copy instead of
       full gate math — the classic cuDNN/pack_padded_sequence trick.
       Results are identical because a masked step is exactly a state copy;
-    * the backward closure runs backpropagation-through-time with all
-      time-independent derivative factors (``1 - n^2``, ``z(1-z)``,
-      ``r(1-r)``, ...) precomputed as vectorized whole-sequence arrays and
-      the recurrent weight gradient reduced to flattened-unroll GEMMs.
+    * the registered BPTT rule precomputes all time-independent derivative
+      factors (``1 - n^2``, ``z(1-z)``, ``r(1-r)``, ...) as vectorized
+      whole-sequence arrays and reduces the recurrent weight gradient to
+      flattened-unroll GEMMs.
+
+    The whole op — projection, loop buffers, saved activations, backward —
+    runs in the NumPy-promoted dtype of its tensor inputs, so a float32
+    GRU never touches float64 scratch memory.
 
     The tape cost of a ``T``-step unroll drops from ~12·T nodes to 1.
 
@@ -547,6 +475,16 @@ def gru_sequence(
 
     two = 2 * hidden
 
+    # Compute dtype: the NumPy promotion of every tensor input. All loop
+    # buffers, saved activations and the backward scratch use it, and any
+    # off-dtype operand is cast once up front (a no-op on uniform graphs).
+    if w_x is None:
+        compute_dtype = np.result_type(x.data, w_h.data)
+    else:
+        compute_dtype = np.result_type(x.data, w_h.data, w_x.data, bias.data)
+    w_h_data = _cast(w_h.data, compute_dtype)
+    h0 = _cast(np.asarray(h0), compute_dtype)
+
     # Packed-sequence fast path: sort rows by length (descending) so each
     # timestep operates on a contiguous "active" batch prefix.
     order = inverse_order = None
@@ -566,25 +504,30 @@ def gru_sequence(
                 # weight-gradient GEMMs to valid rows pays for the gathers.
                 valid_flat = np.asarray(mask, dtype=bool).reshape(-1)
         else:  # general mask: fall back to the m-weighted carry
-            mask_t_major = np.ascontiguousarray(np.asarray(mask, dtype=np.float64).T)
+            mask_t_major = np.ascontiguousarray(
+                np.asarray(mask, dtype=compute_dtype).T
+            )
 
     x_flat = x_compact = None
+    w_x_data = bias_data = None
     if w_x is not None:
-        x_flat = x.data.reshape(batch * time, in_dim)
+        w_x_data = _cast(w_x.data, compute_dtype)
+        bias_data = _cast(bias.data, compute_dtype)
+        x_flat = _cast(x.data, compute_dtype).reshape(batch * time, in_dim)
         if valid_flat is not None:
             # Project only real tokens; padded gx rows are never read by
             # the packed loop (their states are frozen copies).
             x_compact = x_flat[valid_flat]
-            projected = x_compact @ w_x.data
-            projected += bias.data
-            gx_flat = np.zeros((batch * time, triple))
+            projected = x_compact @ w_x_data
+            projected += bias_data
+            gx_flat = np.zeros((batch * time, triple), dtype=compute_dtype)
             gx_flat[valid_flat] = projected
         else:
-            gx_flat = x_flat @ w_x.data
-            gx_flat += bias.data
+            gx_flat = x_flat @ w_x_data
+            gx_flat += bias_data
         gx_data = gx_flat.reshape(batch, time, triple)
     else:
-        gx_data = x.data
+        gx_data = _cast(x.data, compute_dtype)
 
     if order is not None:
         # Fancy-index the transposed view: one pass yields a contiguous
@@ -599,11 +542,11 @@ def gru_sequence(
     # zeros (not empty): rows beyond the active prefix are never written
     # but do flow through the backward whole-array precomputes, and
     # uninitialized garbage there could overflow.
-    gates_rz = np.zeros((time, batch, two))          # sigmoid(r), sigmoid(z)
-    candidate = np.zeros((time, batch, hidden))      # tanh candidate n
-    recur = np.zeros((time, batch, 3 * hidden))      # h @ w_h
-    states = np.empty((time, batch, hidden))         # h_t (sorted order)
-    scratch = np.empty((batch, hidden))
+    gates_rz = np.zeros((time, batch, two), dtype=compute_dtype)       # sig(r), sig(z)
+    candidate = np.zeros((time, batch, hidden), dtype=compute_dtype)   # tanh cand. n
+    recur = np.zeros((time, batch, 3 * hidden), dtype=compute_dtype)   # h @ w_h
+    states = np.empty((time, batch, hidden), dtype=compute_dtype)      # h_t (sorted)
+    scratch = np.empty((batch, hidden), dtype=compute_dtype)
 
     h = h_start
     for t in range(time):
@@ -616,7 +559,7 @@ def gru_sequence(
             continue
         a_t = gx_t_major[t]
         gh = recur[t]
-        np.matmul(h[:a], w_h.data, out=gh[:a])
+        np.matmul(h[:a], w_h_data, out=gh[:a])
         rz = gates_rz[t, :a]
         np.add(a_t[:a, :two], gh[:a, :two], out=rz)
         # In-place stable sigmoid: (1 + tanh(x/2)) / 2.
@@ -651,121 +594,28 @@ def gru_sequence(
     if not _tracking(*parents):
         return Tensor(out_data)
 
-    def backward_fn(grad: np.ndarray) -> None:
-        if order is not None:
-            grad = grad[order]
-        grad_t_major = np.swapaxes(grad, 0, 1)  # (T, B, H) view
-        h_prev_seq = np.concatenate([h_start[None], states[:-1]], axis=0)
-        r_seq = gates_rz[:, :, :hidden]
-        z_seq = gates_rz[:, :, hidden:]
-        # Whole-sequence derivative factors (no per-step transcendentals).
-        dn_da = 1.0 - candidate * candidate                       # tanh'
-        dz_chain = (h_prev_seq - candidate) * (z_seq * (1.0 - z_seq))
-        dr_chain = recur[:, :, two:] * (r_seq * (1.0 - r_seq))
-        # d_gates is laid out as the *input* gradient [da_r | da_z | da_n];
-        # the recurrent side only differs in the n-columns (da_n * r), kept
-        # in d_recur_n. Both GEMMs below are split accordingly, which lets
-        # the input gradient be handed to gx with a single permute pass.
-        d_gates = np.zeros((time, batch, 3 * hidden))
-        d_recur_n = np.zeros((time, batch, hidden))
-        w_h_t = np.ascontiguousarray(w_h.data.T)
-        w_h_t_rz = w_h_t[:two]
-        w_h_t_n = w_h_t[two:]
-
-        total = np.empty((batch, hidden))
-        d_new = np.empty((batch, hidden))
-        d_keep = np.empty((batch, hidden))
-        dnz = np.empty((batch, hidden))
-        dn = np.empty((batch, hidden))
-        rec = np.empty((batch, hidden))
-        rec_n = np.empty((batch, hidden))
-        d_prev = np.zeros((batch, hidden))
-
-        for t in range(time - 1, -1, -1):
-            a = batch if active is None else int(active[t])
-            if a < batch:
-                d_prev[a:] += grad_t_major[t][a:]  # frozen rows just carry
-            if a == 0:
-                continue
-            tot = total[:a]
-            np.add(grad_t_major[t][:a], d_prev[:a], out=tot)
-            if mask_t_major is not None:
-                m = mask_t_major[t][:, None]
-                np.multiply(tot, m, out=d_new[:a])
-                np.subtract(tot, d_new[:a], out=d_keep[:a])  # (1 - m) carry
-                dnw = d_new[:a]
-            else:
-                dnw = tot
-            np.multiply(dnw, z_seq[t, :a], out=dnz[:a])
-            np.subtract(dnw, dnz[:a], out=dn[:a])            # d_new * (1 - z)
-            dg = d_gates[t, :a]
-            da_n = dg[:, two:]
-            np.multiply(dn[:a], dn_da[t, :a], out=da_n)
-            np.multiply(da_n, dr_chain[t, :a], out=dg[:, :hidden])       # da_r
-            np.multiply(dnw, dz_chain[t, :a], out=dg[:, hidden:two])     # da_z
-            dgh_n = d_recur_n[t, :a]
-            np.multiply(da_n, r_seq[t, :a], out=dgh_n)
-            np.matmul(dg[:, :two], w_h_t_rz, out=rec[:a])
-            np.matmul(dgh_n, w_h_t_n, out=rec_n[:a])
-            rec[:a] += rec_n[:a]
-            np.add(rec[:a], dnz[:a], out=d_prev[:a])
-            if mask_t_major is not None:
-                d_prev[:a] += d_keep[:a]
-
-        needs_input_grad = (
-            x._tracked
-            if w_x is None
-            else (x._tracked or w_x._tracked or bias._tracked)
-        )
-        if needs_input_grad:
-            d_inputs = np.swapaxes(d_gates, 0, 1)  # (B, T, 3H) view
-            if inverse_order is not None:
-                d_inputs = d_inputs[inverse_order]  # one-pass unsort (fresh)
-            if w_x is None:
-                if inverse_order is not None:
-                    x._accumulate_owned(d_inputs)
-                else:
-                    x._accumulate(d_inputs)
-            else:
-                dg_flat = np.ascontiguousarray(d_inputs).reshape(batch * time, 3 * hidden)
-                if valid_flat is not None:
-                    # Padded rows of dg_flat are exactly zero — compact the
-                    # projection-gradient GEMMs to real tokens only.
-                    dg_compact = dg_flat[valid_flat]
-                    if bias._tracked:
-                        bias._accumulate_owned(dg_compact.sum(axis=0))
-                    if w_x._tracked:
-                        w_x._accumulate_owned(x_compact.T @ dg_compact)
-                    if x._tracked:
-                        dx_flat = np.zeros((batch * time, in_dim))
-                        dx_flat[valid_flat] = dg_compact @ w_x.data.T
-                        x._accumulate_owned(dx_flat.reshape(batch, time, in_dim))
-                else:
-                    if bias._tracked:
-                        bias._accumulate_owned(dg_flat.sum(axis=0))
-                    if w_x._tracked:
-                        w_x._accumulate_owned(x_flat.T @ dg_flat)
-                    if x._tracked:
-                        x._accumulate_owned((dg_flat @ w_x.data.T).reshape(batch, time, in_dim))
-        if w_h._tracked:
-            # Σ_t h_prev[t].T @ dgh[t] as flattened-unroll GEMMs (the n
-            # columns use d_recur_n, the r/z columns d_gates directly).
-            flat_prev = h_prev_seq.reshape(time * batch, hidden)
-            flat_gates = d_gates.reshape(time * batch, 3 * hidden)
-            flat_recur_n = d_recur_n.reshape(time * batch, hidden)
-            if active is not None and valid_flat is not None:
-                # Same compaction in the sorted layout: only the staircase
-                # of still-active rows carries nonzero gate gradients.
-                stair = (np.arange(batch)[None, :] < active[:, None]).reshape(-1)
-                flat_prev = flat_prev[stair]
-                flat_gates = flat_gates[stair]
-                flat_recur_n = flat_recur_n[stair]
-            w_grad = np.empty_like(w_h.data)
-            np.matmul(flat_prev.T, flat_gates[:, :two], out=w_grad[:, :two])
-            np.matmul(flat_prev.T, flat_recur_n, out=w_grad[:, two:])
-            w_h._accumulate_owned(w_grad)
-
-    return Tensor._link(out_data, parents, backward_fn)
+    saved = SimpleNamespace(
+        order=order,
+        inverse_order=inverse_order,
+        active=active,
+        mask_t_major=mask_t_major,
+        valid_flat=valid_flat,
+        h_start=h_start,
+        states=states,
+        gates_rz=gates_rz,
+        candidate=candidate,
+        recur=recur,
+        x_flat=x_flat,
+        x_compact=x_compact,
+        w_h=w_h_data,
+        w_x=w_x_data,
+        bias=bias_data,
+        batch=batch,
+        time=time,
+        hidden=hidden,
+        in_dim=in_dim,
+    )
+    return Tensor._link(out_data, parents, "gru_sequence", (saved,))
 
 
 def cross_entropy_soft(
@@ -777,25 +627,17 @@ def cross_entropy_soft(
 
     This is the pseudo-M-step loss of the paper: Eq. 8 with uniform weights,
     Eq. 10 when ``weights`` carries ``num(J(i))`` (the number of annotators
-    per instance).
-
-    Parameters
-    ----------
-    logits:
-        ``(B, K)`` unnormalized scores.
-    target:
-        ``(B, K)`` target distribution (rows sum to one), a plain array —
-        targets are constants produced by the pseudo-E-step.
-    weights:
-        Optional ``(B,)`` per-instance weights.
+    per instance). Targets and weights are constants from the pseudo-E-step
+    and are coerced to the logits dtype (losses compute in the model's
+    precision).
     """
-    target = np.asarray(target, dtype=np.float64)
+    target = np.asarray(target, dtype=logits.data.dtype)
     if target.shape != logits.shape:
         raise ValueError(f"target shape {target.shape} != logits shape {logits.shape}")
     logp = log_softmax(logits, axis=-1)
     per_instance = -(Tensor(target) * logp).sum(axis=-1)
     if weights is not None:
-        w = np.asarray(weights, dtype=np.float64)
+        w = np.asarray(weights, dtype=logits.data.dtype)
         if w.shape != (logits.shape[0],):
             raise ValueError(f"weights shape {w.shape} != ({logits.shape[0]},)")
         per_instance = per_instance * Tensor(w)
@@ -822,8 +664,8 @@ def sequence_cross_entropy_soft(
         Optional ``(B, T)`` per-token weights (Eq. 10 for sequences: number
         of annotators who labeled the token).
     """
-    target = np.asarray(target, dtype=np.float64)
-    mask = np.asarray(mask, dtype=np.float64)
+    target = np.asarray(target, dtype=logits.data.dtype)
+    mask = np.asarray(mask, dtype=logits.data.dtype)
     if target.shape != logits.shape:
         raise ValueError(f"target shape {target.shape} != logits shape {logits.shape}")
     if mask.shape != logits.shape[:2]:
@@ -832,7 +674,7 @@ def sequence_cross_entropy_soft(
     per_token = -(Tensor(target) * logp).sum(axis=-1)
     scale = mask
     if weights is not None:
-        w = np.asarray(weights, dtype=np.float64)
+        w = np.asarray(weights, dtype=logits.data.dtype)
         if w.shape != mask.shape:
             raise ValueError(f"weights shape {w.shape} != mask shape {mask.shape}")
         scale = mask * w

@@ -3,50 +3,81 @@
 All initializers take an explicit ``numpy.random.Generator`` so model
 construction is reproducible (the paper averages 30-50 seeded runs; our
 benches average several seeded runs the same way).
+
+Each initializer accepts an optional ``dtype`` and otherwise follows the
+ambient precision policy (:mod:`repro.autodiff.dtypes`). The random draws
+themselves always happen at the generator's native precision and are cast
+afterwards, so a float32 parameter holds exactly the rounded values of its
+float64 twin (same seed → same draws → comparable models across dtypes).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import resolve_dtype
+
 __all__ = ["glorot_uniform", "glorot_normal", "uniform", "normal", "orthogonal", "zeros"]
 
 
-def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int, shape: tuple[int, ...] | None = None) -> np.ndarray:
+def glorot_uniform(
+    rng: np.random.Generator,
+    fan_in: int,
+    fan_out: int,
+    shape: tuple[int, ...] | None = None,
+    dtype=None,
+) -> np.ndarray:
     """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     bound = np.sqrt(6.0 / (fan_in + fan_out))
     if shape is None:
         shape = (fan_in, fan_out)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def glorot_normal(rng: np.random.Generator, fan_in: int, fan_out: int, shape: tuple[int, ...] | None = None) -> np.ndarray:
+def glorot_normal(
+    rng: np.random.Generator,
+    fan_in: int,
+    fan_out: int,
+    shape: tuple[int, ...] | None = None,
+    dtype=None,
+) -> np.ndarray:
     """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
     std = np.sqrt(2.0 / (fan_in + fan_out))
     if shape is None:
         shape = (fan_in, fan_out)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def uniform(rng: np.random.Generator, shape: tuple[int, ...], low: float = -0.05, high: float = 0.05) -> np.ndarray:
+def uniform(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    low: float = -0.05,
+    high: float = 0.05,
+    dtype=None,
+) -> np.ndarray:
     """Plain uniform initializer."""
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.05) -> np.ndarray:
+def normal(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    std: float = 0.05,
+    dtype=None,
+) -> np.ndarray:
     """Plain Gaussian initializer."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def orthogonal(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarray:
+def orthogonal(rng: np.random.Generator, shape: tuple[int, int], dtype=None) -> np.ndarray:
     """Orthogonal initializer (used for GRU recurrent weights)."""
     rows, cols = shape
     flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
     q, _ = np.linalg.qr(flat)
     q = q[:rows, :cols] if q.shape[0] >= rows else q.T[:rows, :cols]
-    return np.ascontiguousarray(q)
+    return np.ascontiguousarray(q, dtype=resolve_dtype(dtype))
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
+def zeros(shape: tuple[int, ...], dtype=None) -> np.ndarray:
     """All-zeros initializer (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import functional as F
+from ..dtypes import coerce_array
 from ..tensor import Tensor
 from . import init
 from .module import Module
@@ -23,19 +24,28 @@ class Linear(Module):
         Generator used for Glorot-uniform weight init.
     bias:
         Whether to add a bias term.
+    dtype:
+        Optional parameter dtype; defaults to the ambient precision policy.
     """
 
-    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        dtype=None,
+    ) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Tensor(
-            init.glorot_uniform(rng, in_features, out_features),
+            init.glorot_uniform(rng, in_features, out_features, dtype=dtype),
             requires_grad=True,
             name="linear.weight",
         )
         self.bias = (
-            Tensor(init.zeros((out_features,)), requires_grad=True, name="linear.bias")
+            Tensor(init.zeros((out_features,), dtype=dtype), requires_grad=True, name="linear.bias")
             if bias
             else None
         )
@@ -52,6 +62,11 @@ class Embedding(Module):
 
     The paper's Kim-CNN uses the "static" variant (pre-trained vectors kept
     frozen); pass ``trainable=False`` plus a ``pretrained`` matrix for that.
+
+    Dtype resolution follows the policy: an explicit ``dtype`` wins, a
+    float32/float64 ``pretrained`` matrix keeps its own dtype (it is *not*
+    silently doubled to float64), and otherwise the ambient default
+    applies.
     """
 
     def __init__(
@@ -61,6 +76,7 @@ class Embedding(Module):
         rng: np.random.Generator | None = None,
         pretrained: np.ndarray | None = None,
         trainable: bool = True,
+        dtype=None,
     ) -> None:
         super().__init__()
         if pretrained is not None:
@@ -68,11 +84,11 @@ class Embedding(Module):
                 raise ValueError(
                     f"pretrained shape {pretrained.shape} != ({vocab_size}, {dim})"
                 )
-            data = np.array(pretrained, dtype=np.float64, copy=True)
+            data = coerce_array(pretrained, dtype=dtype, copy=True)
         else:
             if rng is None:
                 raise ValueError("rng is required when no pretrained matrix is given")
-            data = init.uniform(rng, (vocab_size, dim), -0.25, 0.25)
+            data = init.uniform(rng, (vocab_size, dim), -0.25, 0.25, dtype=dtype)
         self.weight = Tensor(data, requires_grad=trainable, name="embedding.weight")
         self.vocab_size = vocab_size
         self.dim = dim
@@ -97,6 +113,7 @@ class Conv1dSeq(Module):
         rng: np.random.Generator,
         pad: str = "valid",
         variant: str = "auto",
+        dtype=None,
     ) -> None:
         super().__init__()
         if variant not in F.CONV1D_VARIANTS:
@@ -106,11 +123,13 @@ class Conv1dSeq(Module):
         self.variant = variant
         fan_in = width * in_dim
         self.weight = Tensor(
-            init.glorot_uniform(rng, fan_in, out_channels),
+            init.glorot_uniform(rng, fan_in, out_channels, dtype=dtype),
             requires_grad=True,
             name=f"conv{width}.weight",
         )
-        self.bias = Tensor(init.zeros((out_channels,)), requires_grad=True, name=f"conv{width}.bias")
+        self.bias = Tensor(
+            init.zeros((out_channels,), dtype=dtype), requires_grad=True, name=f"conv{width}.bias"
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv1d_seq(

@@ -47,21 +47,27 @@ class GRUCell(Module):
         h' = (1 - z) * n + z * h
     """
 
-    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self, input_dim: int, hidden_dim: int, rng: np.random.Generator, dtype=None
+    ) -> None:
         super().__init__()
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
 
         def w_in() -> Tensor:
             return Tensor(
-                init.glorot_uniform(rng, input_dim, hidden_dim), requires_grad=True
+                init.glorot_uniform(rng, input_dim, hidden_dim, dtype=dtype),
+                requires_grad=True,
             )
 
         def w_rec() -> Tensor:
-            return Tensor(init.orthogonal(rng, (hidden_dim, hidden_dim)), requires_grad=True)
+            return Tensor(
+                init.orthogonal(rng, (hidden_dim, hidden_dim), dtype=dtype),
+                requires_grad=True,
+            )
 
         def b() -> Tensor:
-            return Tensor(init.zeros((hidden_dim,)), requires_grad=True)
+            return Tensor(init.zeros((hidden_dim,), dtype=dtype), requires_grad=True)
 
         self.w_xr, self.w_hr, self.b_r = w_in(), w_rec(), b()
         self.w_xz, self.w_hz, self.b_z = w_in(), w_rec(), b()
@@ -84,13 +90,13 @@ def gru_reference_forward(cell: GRUCell, x: Tensor, mask: np.ndarray | None = No
     side of the GRU microbenchmark.
     """
     batch, time, _ = x.shape
-    h = Tensor(np.zeros((batch, cell.hidden_dim)))
+    h = Tensor(np.zeros((batch, cell.hidden_dim), dtype=cell.w_hr.data.dtype))
     outputs: list[Tensor] = []
     for t in range(time):
         x_t = x[:, t, :]
         h_new = cell(x_t, h)
         if mask is not None:
-            m = np.asarray(mask[:, t], dtype=np.float64)[:, None]
+            m = np.asarray(mask[:, t], dtype=h_new.data.dtype)[:, None]
             h = h_new * Tensor(m) + h * Tensor(1.0 - m)
         else:
             h = h_new
@@ -112,18 +118,22 @@ class GRU(Module):
     final states and per-step outputs are invariant to padding length.
     """
 
-    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self, input_dim: int, hidden_dim: int, rng: np.random.Generator, dtype=None
+    ) -> None:
         super().__init__()
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
         w_x_blocks: list[np.ndarray] = []
         w_h_blocks: list[np.ndarray] = []
         for _ in range(3):  # gate order r, z, n — matches GRUCell's draws
-            w_x_blocks.append(init.glorot_uniform(rng, input_dim, hidden_dim))
-            w_h_blocks.append(init.orthogonal(rng, (hidden_dim, hidden_dim)))
+            w_x_blocks.append(init.glorot_uniform(rng, input_dim, hidden_dim, dtype=dtype))
+            w_h_blocks.append(init.orthogonal(rng, (hidden_dim, hidden_dim), dtype=dtype))
         self.w_x = Tensor(np.concatenate(w_x_blocks, axis=1), requires_grad=True, name="gru.w_x")
         self.w_h = Tensor(np.concatenate(w_h_blocks, axis=1), requires_grad=True, name="gru.w_h")
-        self.bias = Tensor(init.zeros((3 * hidden_dim,)), requires_grad=True, name="gru.bias")
+        self.bias = Tensor(
+            init.zeros((3 * hidden_dim,), dtype=dtype), requires_grad=True, name="gru.bias"
+        )
 
     def gate_cell(self) -> GRUCell:
         """Build a :class:`GRUCell` holding copies of this GRU's weights.
@@ -144,5 +154,5 @@ class GRU(Module):
         batch, _, _ = x.shape
         # The entire layer — whole-sequence input projection plus the fused
         # packed time loop — is a single tape node; see gru_sequence.
-        h0 = np.zeros((batch, self.hidden_dim))
+        h0 = np.zeros((batch, self.hidden_dim), dtype=self.w_h.data.dtype)
         return F.gru_sequence(x, h0, self.w_h, mask=mask, w_x=self.w_x, bias=self.bias)

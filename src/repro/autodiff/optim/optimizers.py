@@ -4,6 +4,13 @@ The sentiment task trains with Adadelta at learning rate 1.0 with "decay by
 half every 5 epochs"; the NER task with Adam at 1e-3. Both are provided,
 plus plain SGD for tests, a step-decay schedule, and global-norm gradient
 clipping.
+
+Precision: optimizer state buffers (momentum/first/second moments,
+Adadelta accumulators) are allocated with ``np.zeros_like`` on each
+parameter, so they inherit the parameter's dtype — a float32 model keeps
+its entire optimizer state in float32. The engine accumulates each
+parameter's gradient in that parameter's own dtype, so all update
+arithmetic stays in the parameter's precision end to end.
 """
 
 from __future__ import annotations

@@ -5,10 +5,14 @@ work trains its classifiers with PyTorch on a Tesla V100, which is not
 available offline, so we re-implement the needed subset of a deep-learning
 framework on top of NumPy (substitution S1 in DESIGN.md).
 
-The design is a vectorized "micrograd": every :class:`Tensor` wraps one
-``numpy.ndarray`` and records a closure that, given the gradient of the loss
-with respect to the tensor, accumulates gradients into its parents.
-:meth:`Tensor.backward` runs those closures in reverse topological order.
+The design is a vectorized "micrograd" with an autograd-style split: every
+:class:`Tensor` wraps one ``numpy.ndarray``, and each op records a tape
+entry ``(primitive, parents, ans, ctx)`` — the *name* of the op plus the
+saved values its gradient needs — instead of a baked backward closure.
+:meth:`Tensor.backward` walks the tape in reverse topological order and
+dispatches each entry through the per-primitive VJP registry in
+:mod:`repro.autodiff.vjps`, which is the single place that says how
+gradients flow.
 
 Only the operations required by the paper's two architectures (Kim-CNN and
 the CNN+GRU tagger) and by the Logic-LNCL training objectives are
@@ -16,17 +20,25 @@ implemented, but they are implemented fully (broadcasting, slicing,
 reductions with keepdims, etc.) so the layer library in
 :mod:`repro.autodiff.nn` can be written naturally.
 
+Dtypes follow the policy in :mod:`repro.autodiff.dtypes`: float64 is the
+reference path (all equivalence and gradcheck contracts), float32 the
+training fast path. Wrapping preserves an array's float dtype; scalars and
+non-float data take the ambient default; gradients accumulate into each
+tensor's buffer in that tensor's own dtype, so mixed-precision graphs
+(e.g. a float32 model under a float64 loss scale) stay well-defined.
+
 Performance notes (the engine sits under the GRU time loop, so per-node
 overhead is a first-order cost):
 
 * ``__slots__`` on :class:`Tensor` and an iterative topological sort keep
   node bookkeeping cheap and recursion-free.
-* Every operator checks :func:`_tracking` *before* building its backward
-  closure; under :class:`no_grad` (or on constant inputs) the op is a plain
-  NumPy call plus one ``Tensor`` wrapper and records nothing.
+* Every operator checks :func:`_tracking` *before* recording; under
+  :class:`no_grad` (or on constant inputs) the op is a plain NumPy call
+  plus one ``Tensor`` wrapper and records nothing.
 * Small Python scalars coerced into tensors (loss scalings, mask
-  complements, ...) are interned in a bounded constant cache instead of
-  re-wrapped on every call.
+  complements, ...) are interned in a bounded constant cache — keyed by
+  ``(value, default dtype)`` so a cached float64 constant can never leak
+  into a float32 graph — instead of re-wrapped on every call.
 * Basic-slice ``__getitem__`` accumulates its backward gradient in place
   into the parent's buffer (:meth:`Tensor._accumulate_at`) instead of
   allocating a full zero array per consumer — the GRU reads one timestep
@@ -39,9 +51,12 @@ overhead is a first-order cost):
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
+
+from . import vjps as _vjps
+from .dtypes import get_default_dtype, is_float_dtype, resolve_dtype
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "tape_node_count"]
 
@@ -50,8 +65,9 @@ _GRAD_ENABLED = True
 # Monotonic count of tape entries recorded since process start.
 _TAPE_NODES = 0
 
-# Interned scalar constants (floats/ints coerced inside arithmetic ops).
-_CONST_CACHE: dict[float, "Tensor"] = {}
+# Interned scalar constants (floats/ints coerced inside arithmetic ops),
+# keyed by (value, dtype char) so each precision gets its own interning.
+_CONST_CACHE: dict[tuple[float, str], "Tensor"] = {}
 _CONST_CACHE_MAX = 512
 
 
@@ -68,9 +84,9 @@ class no_grad:
     """Context manager that disables graph construction.
 
     Used at evaluation time; mirrors ``torch.no_grad``. Operations executed
-    inside the context produce tensors with no parents and no backward
-    closures — the closure is never even constructed — so no memory or time
-    is spent on the tape.
+    inside the context produce tensors with no parents and no tape entry —
+    the saved context is never even built — so no memory or time is spent
+    on the tape.
     """
 
     def __enter__(self) -> "no_grad":
@@ -89,27 +105,19 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
-    """Reduce ``grad`` so it matches ``shape`` after a broadcast op.
+def _as_array(value, dtype=None) -> np.ndarray:
+    """Coerce ``value`` under the dtype policy (see ``autodiff.dtypes``).
 
-    NumPy broadcasting can prepend axes and stretch length-1 axes; the
-    gradient of a broadcast is the sum over the broadcast axes.
+    An explicit ``dtype`` wins; a float array keeps its own dtype; anything
+    else takes the ambient default.
     """
-    if grad.shape == shape:
-        return grad
-    extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    stretched = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
-    if stretched:
-        grad = grad.sum(axis=stretched, keepdims=True)
-    return grad.reshape(shape)
-
-
-def _as_array(value) -> np.ndarray:
     if isinstance(value, np.ndarray):
-        return value if value.dtype == np.float64 else value.astype(np.float64)
-    return np.asarray(value, dtype=np.float64)
+        if dtype is None:
+            target = value.dtype if is_float_dtype(value.dtype) else get_default_dtype()
+        else:
+            target = resolve_dtype(dtype)
+        return value if value.dtype == target else value.astype(target)
+    return np.asarray(value, dtype=resolve_dtype(dtype))
 
 
 def _tracking(*tensors: "Tensor") -> bool:
@@ -117,7 +125,7 @@ def _tracking(*tensors: "Tensor") -> bool:
     if not _GRAD_ENABLED:
         return False
     for t in tensors:
-        if t.requires_grad or t._backward_fn is not None:
+        if t.requires_grad or t._op is not None:
             return True
     return False
 
@@ -138,22 +146,32 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; stored as ``float64``.
+        Array-like payload; float arrays keep their dtype, everything else
+        is stored at the policy default (float64 unless changed).
     requires_grad:
         If true, :meth:`backward` will leave the accumulated gradient in
         :attr:`grad` for this tensor (i.e. this is a leaf/parameter).
     name:
         Optional label used in ``repr`` and error messages.
+    dtype:
+        Optional explicit dtype (float32/float64); overrides the policy.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_op", "_ctx", "name")
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None) -> None:
-        self.data = _as_array(data)
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        name: str | None = None,
+        dtype=None,
+    ) -> None:
+        self.data = _as_array(data, dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
         self._parents: tuple[Tensor, ...] = ()
-        self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self._op: str | None = None
+        self._ctx: tuple = ()
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -170,6 +188,10 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     def __len__(self) -> int:
         return len(self.data)
@@ -199,17 +221,22 @@ class Tensor:
     def _link(
         data: np.ndarray,
         parents: Sequence["Tensor"],
-        backward_fn: Callable[[np.ndarray], None],
+        op: str,
+        ctx: tuple = (),
     ) -> "Tensor":
         """Create an op output and unconditionally record the tape entry.
 
-        Callers must have already checked :func:`_tracking`; this split lets
-        hot ops skip closure construction entirely on the no-grad path.
+        ``op`` names a primitive registered in :mod:`repro.autodiff.vjps`;
+        ``ctx`` is the saved context its VJPs receive after ``(g, ans)``.
+        Callers must have already checked :func:`_tracking`; this split
+        lets hot ops skip context construction entirely on the no-grad
+        path.
         """
         global _TAPE_NODES
         out = Tensor(data)
         out._parents = tuple(parents)
-        out._backward_fn = backward_fn
+        out._op = op
+        out._ctx = ctx
         _TAPE_NODES += 1
         return out
 
@@ -217,37 +244,40 @@ class Tensor:
     def _make(
         data: np.ndarray,
         parents: Sequence["Tensor"],
-        backward_fn: Callable[[np.ndarray], None],
+        op: str,
+        ctx: tuple = (),
     ) -> "Tensor":
         """Create an op output, recording the tape entry only when needed.
 
-        Convenience wrapper for composite ops whose closure construction is
+        Convenience wrapper for composite ops whose context construction is
         cheap relative to the forward math; hot ops use the explicit
         ``if _tracking(...): Tensor._link(...)`` pattern instead.
         """
         if _tracking(*parents):
-            return Tensor._link(data, parents, backward_fn)
+            return Tensor._link(data, parents, op, ctx)
         return Tensor(data)
 
     @property
     def _tracked(self) -> bool:
         """True when gradients must flow through (or stop at) this tensor."""
-        return self.requires_grad or self._backward_fn is not None
+        return self.requires_grad or self._op is not None
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` into this tensor's buffer (leaves and intermediates).
 
         Intermediates need a buffer too, so diamond-shaped graphs sum the
-        contributions from every consumer before the node's own backward
-        closure runs.
+        contributions from every consumer before the node's own VJPs run.
+        The buffer always takes this tensor's own dtype, which is what
+        keeps parameter gradients in the parameter's precision even when a
+        downstream op promoted.
         """
         if not self._tracked:
             return
         if self.grad is None:
             # First contribution: copy instead of zeros+add (half the
-            # memory traffic; closures hand over freshly built arrays).
+            # memory traffic; VJPs hand over freshly built arrays).
             if grad.shape == self.data.shape:
-                self.grad = np.array(grad, dtype=np.float64, copy=True)
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
             else:
                 self.grad = np.zeros_like(self.data)
                 self.grad += grad
@@ -259,12 +289,19 @@ class Tensor:
 
         Only call with a freshly allocated array (or a view of one) that
         the caller will not touch again; the first contribution is then
-        stored without a defensive copy.
+        stored without a defensive copy (unless a dtype conversion is
+        needed anyway).
         """
         if not self._tracked:
             return
-        if self.grad is None and grad.shape == self.data.shape:
-            self.grad = np.ascontiguousarray(grad)
+        if (
+            self.grad is None
+            and grad.shape == self.data.shape
+            and grad.dtype == self.data.dtype
+        ):
+            # Note: not np.ascontiguousarray — that call reshapes 0-d
+            # arrays to (1,), and scalar losses hand 0-d grads here.
+            self.grad = grad if grad.flags.c_contiguous else np.array(grad)
         else:
             self._accumulate(grad)
 
@@ -302,12 +339,48 @@ class Tensor:
                     stack.append((parent, False))
         return order
 
+    def _apply_vjps(self, node_grad: np.ndarray) -> None:
+        """Dispatch one tape entry through the VJP registry.
+
+        Fused primitives compute every argument gradient jointly (their
+        results are always owned); per-argument primitives run only the
+        VJPs of tracked parents and accumulate under each entry's
+        ownership flag. ``IndexedGrad`` results add in place into the
+        parent's buffer slice.
+        """
+        op = self._op
+        parents = self._parents
+        fused = _vjps.FUSED_TABLE.get(op)
+        if fused is not None:
+            needs = tuple(parent._tracked for parent in parents)
+            grads = fused(node_grad, self.data, needs, *self._ctx)
+            for parent, grad in zip(parents, grads):
+                if grad is not None:
+                    parent._accumulate_owned(grad)
+            return
+        fns = _vjps.VJP_TABLE.get(op)
+        if fns is None:
+            raise KeyError(f"no VJP registered for primitive {op!r}")
+        owned = _vjps.VJP_OWNED[op]
+        for parent, fn, own in zip(parents, fns, owned):
+            if fn is None or not parent._tracked:
+                continue
+            grad = fn(node_grad, self.data, *self._ctx)
+            if type(grad) is _vjps.IndexedGrad:
+                parent._accumulate_at(grad.index, grad.grad)
+            elif own:
+                parent._accumulate_owned(grad)
+            else:
+                parent._accumulate(grad)
+
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Run reverse-mode differentiation from this tensor.
 
         Gradients of leaf tensors created with ``requires_grad=True`` are
         accumulated into their :attr:`grad`; intermediate buffers are freed
-        once consumed.
+        once consumed. Each node's gradient buffer lives in that node's own
+        dtype, so every VJP receives ``g`` in the dtype of its primitive's
+        output.
 
         Parameters
         ----------
@@ -332,15 +405,15 @@ class Tensor:
         order = self._topo_order()
         # Stale intermediate buffers from a previous pass must not leak in.
         for node in order:
-            if node._backward_fn is not None and node is not self:
+            if node._op is not None and node is not self:
                 node.grad = None
 
         self._accumulate(grad)
         for node in reversed(order):
-            if node._backward_fn is None or node.grad is None:
+            if node._op is None or node.grad is None:
                 continue
             node_grad, node.grad = node.grad, None
-            node._backward_fn(node_grad)
+            node._apply_vjps(node_grad)
             if node.requires_grad:
                 # Rare case: a tracked intermediate explicitly marked as a
                 # leaf as well; keep its gradient visible.
@@ -354,11 +427,12 @@ class Tensor:
         if isinstance(other, Tensor):
             return other
         if isinstance(other, (int, float)) and not isinstance(other, bool):
-            key = float(other)
+            dtype = get_default_dtype()
+            key = (float(other), dtype.char)
             cached = _CONST_CACHE.get(key)
             if cached is not None:
                 return cached
-            cached = Tensor(key)
+            cached = Tensor(key[0], dtype=dtype)
             if len(_CONST_CACHE) < _CONST_CACHE_MAX:
                 _CONST_CACHE[key] = cached
             return cached
@@ -369,35 +443,21 @@ class Tensor:
         out_data = self.data + other.data
         if not _tracking(self, other):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.data.shape))
-            other._accumulate(_unbroadcast(grad, other.data.shape))
-
-        return Tensor._link(out_data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), "add", (self.data, other.data))
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
         if not _tracking(self):
             return Tensor(-self.data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
-
-        return Tensor._link(-self.data, (self,), backward_fn)
+        return Tensor._link(-self.data, (self,), "neg")
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce(other)
         out_data = self.data - other.data
         if not _tracking(self, other):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.data.shape))
-            other._accumulate(_unbroadcast(-grad, other.data.shape))
-
-        return Tensor._link(out_data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), "sub", (self.data, other.data))
 
     def __rsub__(self, other) -> "Tensor":
         return Tensor._coerce(other).__sub__(self)
@@ -407,12 +467,7 @@ class Tensor:
         out_data = self.data * other.data
         if not _tracking(self, other):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
-
-        return Tensor._link(out_data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), "mul", (self.data, other.data))
 
     __rmul__ = __mul__
 
@@ -421,14 +476,7 @@ class Tensor:
         out_data = self.data / other.data
         if not _tracking(self, other):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
-            other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
-            )
-
-        return Tensor._link(out_data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), "div", (self.data, other.data))
 
     def __rtruediv__(self, other) -> "Tensor":
         return Tensor._coerce(other).__truediv__(self)
@@ -439,18 +487,7 @@ class Tensor:
         out_data = self.data**exponent
         if not _tracking(self):
             return Tensor(out_data)
-
-        if exponent == 2:
-            # Hot case (squared losses): avoid the elementwise pow call.
-            def backward_fn(grad: np.ndarray) -> None:
-                self._accumulate(grad * 2.0 * self.data)
-
-        else:
-
-            def backward_fn(grad: np.ndarray) -> None:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "pow", (self.data, exponent))
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -459,17 +496,7 @@ class Tensor:
         out_data = self.data @ other.data
         if not _tracking(self, other):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            # The products below are fresh arrays, so ownership transfers.
-            if self._tracked:
-                g = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate_owned(_unbroadcast(g, self.data.shape))
-            if other._tracked:
-                g = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate_owned(_unbroadcast(g, other.data.shape))
-
-        return Tensor._link(out_data, (self, other), backward_fn)
+        return Tensor._link(out_data, (self, other), "matmul", (self.data, other.data))
 
     # ------------------------------------------------------------------ #
     # Elementwise nonlinearities
@@ -478,31 +505,19 @@ class Tensor:
         out_data = np.exp(self.data)
         if not _tracking(self):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "exp")
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
         if not _tracking(self):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "log", (self.data,))
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
         if not _tracking(self):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data**2))
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "tanh")
 
     def sigmoid(self) -> "Tensor":
         # (1 + tanh(x/2)) / 2: overflow-free for any input and a single
@@ -510,22 +525,14 @@ class Tensor:
         out_data = 0.5 * (1.0 + np.tanh(0.5 * self.data))
         if not _tracking(self):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out_data = self.data * mask
         if not _tracking(self):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "relu", (mask,))
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient flows only through the unclipped region."""
@@ -533,11 +540,7 @@ class Tensor:
         if not _tracking(self):
             return Tensor(out_data)
         mask = (self.data >= low) & (self.data <= high)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "clip", (mask,))
 
     # ------------------------------------------------------------------ #
     # Reductions
@@ -546,16 +549,9 @@ class Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
         if not _tracking(self):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            g = grad
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else axis
-                for ax in sorted(a % self.data.ndim for a in axes):
-                    g = np.expand_dims(g, ax)
-            self._accumulate_owned(np.broadcast_to(g, self.data.shape).copy())
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(
+            out_data, (self,), "sum", (self.data.shape, axis, keepdims)
+        )
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -574,12 +570,7 @@ class Tensor:
         mask = self.data == expanded
         first = np.cumsum(mask, axis=axis) == 1
         mask = mask & first
-
-        def backward_fn(grad: np.ndarray) -> None:
-            g = grad if keepdims else np.expand_dims(grad, axis)
-            self._accumulate(mask * g)
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "max", (mask, axis, keepdims))
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
@@ -590,11 +581,7 @@ class Tensor:
         out_data = self.data.reshape(shape)
         if not _tracking(self):
             return Tensor(out_data)
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(self.data.shape))
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "reshape", (self.data.shape,))
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
@@ -602,45 +589,31 @@ class Tensor:
         if not _tracking(self):
             return Tensor(out_data)
         inverse = tuple(np.argsort(axes_tuple))
-
-        def backward_fn(grad: np.ndarray) -> None:
-            self._accumulate(grad.transpose(inverse))
-
-        return Tensor._link(out_data, (self,), backward_fn)
+        return Tensor._link(out_data, (self,), "transpose", (inverse,))
 
     def __getitem__(self, index) -> "Tensor":
         out_data = np.array(self.data[index], copy=True)
         if not _tracking(self):
             return Tensor(out_data)
-
         if _is_basic_index(index):
             # Basic indices select each source element at most once, so the
             # backward pass can add in place into the parent's buffer — no
             # full-size scratch array per consumer (the GRU slices one
             # timestep per loop iteration; this keeps its backward O(T)).
-            def backward_fn(grad: np.ndarray) -> None:
-                self._accumulate_at(index, grad)
-
-        else:
-
-            def backward_fn(grad: np.ndarray) -> None:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
-
-        return Tensor._link(out_data, (self,), backward_fn)
+            return Tensor._link(out_data, (self,), "getitem", (index,))
+        return Tensor._link(out_data, (self,), "getitem_fancy", (self.data, index))
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
     # ------------------------------------------------------------------ #
     @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
     @staticmethod
-    def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
-        return Tensor(array, requires_grad=requires_grad)
+    def from_numpy(array: np.ndarray, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(array, requires_grad=requires_grad, dtype=dtype)

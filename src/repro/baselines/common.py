@@ -15,6 +15,7 @@ import numpy as np
 
 from ..autodiff import functional as F
 from ..autodiff import no_grad
+from ..autodiff.dtypes import canonical_dtype, default_dtype
 from ..autodiff.nn import Module
 from ..autodiff.optim import SGD, Adadelta, Adam, Optimizer, StepDecay, clip_grad_norm
 from ..data.loaders import batch_indices
@@ -42,6 +43,15 @@ class TrainerConfig:
     Sentiment paper values: Adadelta, lr 1.0 halved every 5 epochs, batch
     50, 30 epochs, patience 5. NER: Adam 1e-3, batch 64, 30 epochs,
     patience 5.
+
+    ``dtype`` sets the training precision: "float64" (default) is the
+    reference path every equivalence test is pinned to; "float32" is the
+    fast path (~2x GEMM throughput, half the tape memory). Epoch runners
+    scope the autodiff ambient default to this dtype, so scalar constants
+    and loss coercions inside the loop follow the configured precision.
+    Note the model's own parameter dtype is fixed at construction (via
+    ``MLPConfig``/``TextCNNConfig``/``NERTaggerConfig``); for a full
+    fast-path run, set both to "float32".
     """
 
     epochs: int = 30
@@ -53,6 +63,7 @@ class TrainerConfig:
     patience: int = 5
     grad_clip: float | None = 5.0
     weighted_loss: bool = False  # Eq. 10 (num annotators) vs Eq. 8
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -78,6 +89,7 @@ class TrainerConfig:
             raise ValueError(
                 f"grad_clip must be positive or None to disable, got {self.grad_clip}"
             )
+        self.dtype = canonical_dtype(self.dtype).name
 
 
 def build_optimizer(parameters, config: TrainerConfig) -> tuple[Optimizer, StepDecay | None]:
@@ -139,19 +151,20 @@ def run_classification_epoch(
     model.train()
     total_loss = 0.0
     batches = 0
-    for batch in batch_indices(len(lengths), config.batch_size, rng=rng):
-        optimizer.zero_grad()
-        logits = model.logits(tokens[batch], lengths[batch])
-        batch_weights = weights[batch] if weights is not None else None
-        loss = F.cross_entropy_soft(logits, targets[batch], weights=batch_weights)
-        loss.backward()
-        if config.grad_clip is not None:
-            clip_grad_norm(optimizer.parameters, config.grad_clip)
-        optimizer.step()
-        if hasattr(model, "apply_max_norm"):
-            model.apply_max_norm()
-        total_loss += loss.item()
-        batches += 1
+    with default_dtype(config.dtype):
+        for batch in batch_indices(len(lengths), config.batch_size, rng=rng):
+            optimizer.zero_grad()
+            logits = model.logits(tokens[batch], lengths[batch])
+            batch_weights = weights[batch] if weights is not None else None
+            loss = F.cross_entropy_soft(logits, targets[batch], weights=batch_weights)
+            loss.backward()
+            if config.grad_clip is not None:
+                clip_grad_norm(optimizer.parameters, config.grad_clip)
+            optimizer.step()
+            if hasattr(model, "apply_max_norm"):
+                model.apply_max_norm()
+            total_loss += loss.item()
+            batches += 1
     return total_loss / max(batches, 1)
 
 
@@ -177,20 +190,21 @@ def run_sequence_epoch(
     position = np.arange(max_time)[None, :]
     total_loss = 0.0
     batches = 0
-    for batch in batch_indices(len(lengths), config.batch_size, rng=rng):
-        optimizer.zero_grad()
-        logits = model.logits(tokens[batch], lengths[batch])
-        mask = position < lengths[batch][:, None]
-        batch_weights = weights[batch] if weights is not None else None
-        loss = F.sequence_cross_entropy_soft(
-            logits, targets[batch], mask, weights=batch_weights
-        )
-        loss.backward()
-        if config.grad_clip is not None:
-            clip_grad_norm(optimizer.parameters, config.grad_clip)
-        optimizer.step()
-        total_loss += loss.item()
-        batches += 1
+    with default_dtype(config.dtype):
+        for batch in batch_indices(len(lengths), config.batch_size, rng=rng):
+            optimizer.zero_grad()
+            logits = model.logits(tokens[batch], lengths[batch])
+            mask = position < lengths[batch][:, None]
+            batch_weights = weights[batch] if weights is not None else None
+            loss = F.sequence_cross_entropy_soft(
+                logits, targets[batch], mask, weights=batch_weights
+            )
+            loss.backward()
+            if config.grad_clip is not None:
+                clip_grad_norm(optimizer.parameters, config.grad_clip)
+            optimizer.step()
+            total_loss += loss.item()
+            batches += 1
     return total_loss / max(batches, 1)
 
 

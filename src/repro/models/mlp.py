@@ -4,39 +4,76 @@ Raykar et al. (2010) — the paper's probabilistic baseline — uses logistic
 regression as its classifier. We realize it as a linear layer over
 mean-pooled word embeddings; :class:`MLPClassifier` adds one hidden layer
 and is used in unit tests where a tiny trainable model is convenient.
+
+Like the larger networks, both classifiers follow the autodiff precision
+policy: pooling masks and length normalizers are built in the embedding
+matrix's dtype, so a float32 model never promotes to float64 mid-graph.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..autodiff import Tensor
+from ..autodiff.dtypes import canonical_dtype
 from ..autodiff.nn import Embedding, Linear
 from .base import TextClassifier
 
-__all__ = ["BagOfEmbeddingsClassifier", "MLPClassifier"]
+__all__ = ["BagOfEmbeddingsClassifier", "MLPConfig", "MLPClassifier"]
 
 
 class BagOfEmbeddingsClassifier(TextClassifier):
     """Logistic regression on mean-pooled (frozen) word embeddings."""
 
-    def __init__(self, embeddings: np.ndarray, num_classes: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        num_classes: int,
+        rng: np.random.Generator,
+        dtype=None,
+    ) -> None:
         super().__init__()
         vocab_size, dim = embeddings.shape
         self.num_classes = num_classes
-        self.embedding = Embedding(vocab_size, dim, pretrained=embeddings, trainable=False)
-        self.output = Linear(dim, num_classes, rng)
+        self.embedding = Embedding(
+            vocab_size, dim, pretrained=embeddings, trainable=False, dtype=dtype
+        )
+        self.output = Linear(dim, num_classes, rng, dtype=dtype)
 
     def _pooled(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
         tokens = np.asarray(tokens)
         lengths = np.asarray(lengths)
         embedded = self.embedding(tokens)
-        mask = (np.arange(tokens.shape[1])[None, :] < lengths[:, None]).astype(np.float64)
+        compute_dtype = embedded.data.dtype
+        mask = (np.arange(tokens.shape[1])[None, :] < lengths[:, None]).astype(compute_dtype)
         summed = (embedded * Tensor(mask[:, :, None])).sum(axis=1)
-        return summed * Tensor((1.0 / lengths.astype(np.float64))[:, None])
+        return summed * Tensor((1.0 / lengths.astype(compute_dtype))[:, None])
 
     def logits(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
         return self.output(self._pooled(tokens, lengths))
+
+
+@dataclass
+class MLPConfig:
+    """Hyper-parameters of the small test MLP.
+
+    ``dtype`` selects the parameter/compute precision ("float64" reference
+    or the "float32" fast path), mirroring :class:`TextCNNConfig` and
+    :class:`NERTaggerConfig`.
+    """
+
+    num_classes: int = 2
+    hidden: int = 16
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("need at least two classes")
+        if self.hidden < 1:
+            raise ValueError("hidden width must be positive")
+        self.dtype = canonical_dtype(self.dtype).name
 
 
 class MLPClassifier(BagOfEmbeddingsClassifier):
@@ -48,11 +85,20 @@ class MLPClassifier(BagOfEmbeddingsClassifier):
         num_classes: int,
         hidden: int,
         rng: np.random.Generator,
+        dtype=None,
     ) -> None:
-        super().__init__(embeddings, num_classes, rng)
+        super().__init__(embeddings, num_classes, rng, dtype=dtype)
         dim = embeddings.shape[1]
-        self.hidden_layer = Linear(dim, hidden, rng)
-        self.output = Linear(hidden, num_classes, rng)
+        self.hidden_layer = Linear(dim, hidden, rng, dtype=dtype)
+        self.output = Linear(hidden, num_classes, rng, dtype=dtype)
+
+    @classmethod
+    def from_config(
+        cls, embeddings: np.ndarray, config: MLPConfig, rng: np.random.Generator
+    ) -> "MLPClassifier":
+        return cls(
+            embeddings, config.num_classes, config.hidden, rng, dtype=config.dtype
+        )
 
     def logits(self, tokens: np.ndarray, lengths: np.ndarray) -> Tensor:
         return self.output(self.hidden_layer(self._pooled(tokens, lengths)).tanh())

@@ -103,7 +103,7 @@ class TestWidthLoopNumerics:
         x = Tensor(rng.normal(size=(2, 6, 3)))
         w = Tensor(rng.normal(size=(9, 2)))
         out = F.conv1d_seq(x, w, None, width=3, variant="width_loop")
-        assert out._backward_fn is None or not out._tracked
+        assert out._op is None or not out._tracked
 
 
 class TestAutoSelection:

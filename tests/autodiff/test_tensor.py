@@ -52,7 +52,7 @@ class TestBasics:
             assert not is_grad_enabled()
             b = a * 5.0
         assert is_grad_enabled()
-        assert b._backward_fn is None
+        assert b._op is None
 
     def test_zeros_ones_constructors(self):
         assert Tensor.zeros(2, 3).shape == (2, 3)

@@ -4,14 +4,15 @@ Runs ``benchmarks/bench_hotpaths.py --smoke`` in a subprocess (fresh
 interpreter, exactly as CI would) and fails if it errors — so a change
 that breaks any seed-vs-live equivalence check (fused GRU, vectorized
 sequence EM, sparse DS EM, batched forward–backward, sparse GLAD/PM/CATD,
-the width-loop conv1d step, the streaming replay contract, the sharded
-batch-twin contract, the multi-core sharded bit-identity gate), or the
+the width-loop conv1d step, the float32-vs-float64 dtype twins, the
+streaming replay contract, the sharded batch-twin contract, the
+multi-core sharded bit-identity gate), or the
 harness itself, fails the tier-1 suite. The
 smoke run finishes in a few seconds; it measures tiny sizes and makes no
 speedup assertions (wall clock on shared CI boxes is not a contract) —
-the one resource bound asserted is the sharded section's peak-memory
-ordering, which tracemalloc measures deterministically enough for CI:
-out-of-core inference must peak below the in-memory batch run.
+the resource bounds asserted are the peak-memory orderings (sharded
+out-of-core below in-memory batch; float32 epochs below float64), which
+tracemalloc measures deterministically enough for CI.
 """
 
 import json
@@ -74,6 +75,19 @@ def test_bench_hotpaths_smoke_runs_and_writes_json(tmp_path):
         "after_first_update_ms", "after_last_update_ms",
     ):
         assert payload["streaming"][key] > 0
+
+    # The dtype section: float32 fast-path twins of the TextCNN and CRNN
+    # training epochs. Asserted: contract keys present, the float32 run
+    # peaks below the float64 run (tape + activations at half width — a
+    # deterministic tracemalloc measurement, unlike wall clock, which is
+    # asserted nowhere), and the same-seed twins agree at init (the bench
+    # itself gates this at 1e-2 before timing).
+    for network in ("text_cnn", "crnn"):
+        entry = payload["dtype"][network]
+        assert entry["before_ms"] > 0 and entry["after_ms"] > 0
+        assert entry["speedup"] > 0
+        assert entry["after_peak_bytes"] < entry["before_peak_bytes"]
+        assert entry["max_abs_logit_diff"] < 1e-2
 
     # The sharded section's memory claim: out-of-core inference peaks
     # below the in-memory batch run at both scales, and the shard layout

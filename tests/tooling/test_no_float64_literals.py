@@ -1,0 +1,87 @@
+"""AST lint: the dtype policy module is the only place dtypes are named.
+
+Hard-coded ``np.float64`` / ``np.float32`` (or ``"float64"`` string
+literals, or ``from numpy import float64``) inside ``repro.autodiff``
+bypass the precision policy — exactly the bug this PR fixed in
+``Embedding`` (a float32 pretrained matrix silently doubled to float64).
+This sweep walks every module under ``src/repro/autodiff`` except
+``dtypes.py`` and fails on any such literal, with file:line locations.
+
+Comments and docstrings are free to *talk about* dtypes; only attribute
+accesses, exact string constants, and imports are banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+AUTODIFF_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro" / "autodiff"
+POLICY_MODULE = "dtypes.py"
+BANNED_NAMES = {"float32", "float64"}
+
+
+def _violations_in(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found: list[str] = []
+
+    def report(node: ast.AST, what: str) -> None:
+        found.append(f"{path.relative_to(AUTODIFF_ROOT)}:{node.lineno}: {what}")
+
+    for node in ast.walk(tree):
+        # np.float64, numpy.float32, xp.float64, ... — any attribute access
+        if isinstance(node, ast.Attribute) and node.attr in BANNED_NAMES:
+            report(node, f"attribute .{node.attr}")
+        # dtype="float64" style string literals (exact match only, so
+        # docstrings mentioning dtypes stay legal)
+        elif isinstance(node, ast.Constant) and node.value in BANNED_NAMES:
+            report(node, f"string literal {node.value!r}")
+        # from numpy import float64
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in BANNED_NAMES:
+                    report(node, f"import of {alias.name}")
+        # bare float64 name (e.g. after a star import)
+        elif isinstance(node, ast.Name) and node.id in BANNED_NAMES:
+            report(node, f"bare name {node.id}")
+    return found
+
+
+def test_autodiff_sources_exist():
+    modules = list(AUTODIFF_ROOT.rglob("*.py"))
+    assert len(modules) > 5, f"expected the autodiff package under {AUTODIFF_ROOT}"
+    assert any(m.name == POLICY_MODULE for m in modules)
+
+
+def test_no_raw_dtype_literals_outside_policy_module():
+    violations: list[str] = []
+    for module in sorted(AUTODIFF_ROOT.rglob("*.py")):
+        if module.name == POLICY_MODULE:
+            continue
+        violations.extend(_violations_in(module))
+    assert not violations, (
+        "raw dtype literals inside repro.autodiff (route through "
+        "repro.autodiff.dtypes instead):\n  " + "\n  ".join(violations)
+    )
+
+
+def test_lint_actually_detects_violations():
+    """Self-check: the walker flags each banned construct."""
+    sample = (
+        "import numpy as np\n"
+        "from numpy import float64\n"
+        "a = np.float32(1.0)\n"
+        'b = x.astype("float64")\n'
+    )
+    tmp = AUTODIFF_ROOT / "dtypes.py"  # any real path for relative_to
+    tree_violations = []
+    probe = tmp.parent / "_probe_for_lint_test.py"
+    try:
+        probe.write_text(sample)
+        tree_violations = _violations_in(probe)
+    finally:
+        probe.unlink(missing_ok=True)
+    kinds = "\n".join(tree_violations)
+    assert "import of float64" in kinds
+    assert "attribute .float32" in kinds
+    assert "string literal 'float64'" in kinds
