@@ -79,6 +79,18 @@ frozen seed-commit implementations (``seed_baseline.py``):
   records ``cpu_count`` so numbers from a smaller box read as what they
   are.
 
+* **serving** — a :class:`~repro.serving.service.CrowdService` absorbing
+  the bursty many-dataset schedule of :mod:`repro.serving.workload`
+  (burst/dribble/quiet arrivals interleaved with Poisson query traffic)
+  under a resident budget a fraction of the dataset count, so LRU
+  eviction churn is part of the measured path. Reports sustained
+  updates/sec plus p50/p99 query latency, and the service's
+  eviction/rehydration/checkpoint counters. Unlike the other sections
+  there is no seed twin — the subsystem is new — so the gate is the
+  recovery contract instead: before anything is timed, a mid-schedule
+  checkpoint + simulated crash + restart + per-dataset tail replay must
+  reproduce uninterrupted per-dataset streams at 1e-10.
+
 Both sides of each comparison run interleaved in the same process,
 best-of-N, because this box's wall-clock is noisy. Sentence lengths are
 drawn geometric with mean ≈14.5 tokens (CoNLL-2003-like) and padded to
@@ -158,8 +170,10 @@ from repro.inference.catd import CATD  # noqa: E402
 from repro.inference.dawid_skene import DawidSkene, ShardedDawidSkene  # noqa: E402
 from repro.inference.glad import GLAD  # noqa: E402
 from repro.inference.pm import PM  # noqa: E402
+from repro.experiments.streaming_suite import StreamScenarioConfig  # noqa: E402
 from repro.inference.primitives import batched_forward_backward  # noqa: E402
 from repro.inference.streaming import StreamingDawidSkene  # noqa: E402
+from repro.serving import CrowdService, build_serving_workload  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 HISTORY_DIR = Path(__file__).resolve().parent / "history"
@@ -901,6 +915,107 @@ def bench_sharded_parallel(
     }
 
 
+# --------------------------------------------------------------------- #
+# Serving: CrowdService under bursty many-dataset traffic with eviction
+# --------------------------------------------------------------------- #
+def bench_serving(datasets, config, queries_per_update, max_resident, repeats, seed) -> dict:
+    workload = build_serving_workload(
+        seed=seed, datasets=datasets, config=config, queries_per_update=queries_per_update
+    )
+    overrides = dict(inner_sweeps=1)
+
+    # Recovery gate before any timing: checkpoint mid-schedule, crash,
+    # restart on the same root, replay each dataset's tail from the
+    # durable cursor — must match uninterrupted per-dataset streams.
+    expected = {}
+    for dataset_id in workload.datasets:
+        stream = StreamingDawidSkene(**overrides)
+        for batch in workload.updates_for(dataset_id):
+            stream.partial_fit(batch)
+        expected[dataset_id] = stream.result()
+    updates = [event for event in workload.events if event.kind == "update"]
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "gate"
+        service = CrowdService(root, method="DS", max_resident=max_resident, **overrides)
+        for event in updates[: len(updates) // 2]:
+            service.partial_fit(event.dataset_id, event.batch)
+        service.checkpoint()
+        del service  # crash: in-memory state gone, the files survive
+        revived = CrowdService(root, method="DS", max_resident=max_resident, **overrides)
+        recovery_diff = 0.0
+        for dataset_id in workload.datasets:
+            cursor = (
+                revived.cursor(dataset_id) if dataset_id in revived.datasets() else 0
+            )
+            for batch in workload.updates_for(dataset_id)[cursor:]:
+                revived.partial_fit(dataset_id, batch)
+        for dataset_id in workload.datasets:
+            recovery_diff = max(
+                recovery_diff,
+                float(
+                    np.abs(
+                        revived.query(dataset_id).posterior
+                        - expected[dataset_id].posterior
+                    ).max(initial=0.0)
+                ),
+            )
+        if recovery_diff > 1e-10:
+            raise AssertionError(
+                f"service recovery diverged from uninterrupted streams: {recovery_diff}"
+            )
+
+    def run_schedule():
+        with tempfile.TemporaryDirectory() as run_tmp:
+            service = CrowdService(
+                Path(run_tmp), method="DS", max_resident=max_resident, **overrides
+            )
+            update_seconds = 0.0
+            latencies = []
+            for event in workload.events:
+                start = time.perf_counter()
+                if event.kind == "update":
+                    service.partial_fit(event.dataset_id, event.batch)
+                    update_seconds += time.perf_counter() - start
+                else:
+                    service.query(event.dataset_id)
+                    latencies.append(time.perf_counter() - start)
+            return update_seconds, latencies, dict(service.stats)
+
+    update_s = np.inf
+    all_latencies = []
+    stats = {}
+    for _ in range(repeats):
+        update_seconds, latencies, stats = run_schedule()
+        update_s = min(update_s, update_seconds)
+        all_latencies.extend(latencies)  # pooled: more draws for the p99
+    latency_ms = (
+        np.asarray(all_latencies) * 1e3 if all_latencies else np.zeros(1)
+    )
+    return {
+        "config": {
+            "datasets": datasets,
+            "I_per_dataset": config.instances,
+            "J": config.annotators,
+            "K": config.num_classes,
+            "batch_size": config.batch_size,
+            "queries_per_update": queries_per_update,
+            "max_resident": max_resident,
+            "method": "DS (inner_sweeps=1)",
+            "arrivals": "burst/dribble/quiet ticks, random dataset per tick",
+        },
+        "update_count": workload.update_count,
+        "query_count": workload.query_count,
+        "updates_per_sec": workload.update_count / update_s,
+        "update_total_ms": update_s * 1e3,
+        "query_p50_ms": float(np.percentile(latency_ms, 50)),
+        "query_p99_ms": float(np.percentile(latency_ms, 99)),
+        "recovery_max_abs_diff": recovery_diff,
+        "evictions": stats["evictions"],
+        "rehydrations": stats["rehydrations"],
+        "checkpoints": stats["checkpoints"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--smoke", action="store_true",
@@ -937,6 +1052,15 @@ def main(argv=None) -> int:
         parallel_cfg = dict(instances=400, annotators=47, classes=9, iterations=6,
                             shards=4, worker_counts=args.workers or [2])
         parallel_repeats = 1
+        serving_cfg = dict(
+            datasets=3,
+            config=StreamScenarioConfig(
+                instances=40, annotators=8, batch_size=10,
+                mean_labels_per_instance=3.0,
+            ),
+            queries_per_update=1.0, max_resident=2, seed=11,
+        )
+        serving_repeats = 2
     else:
         repeats = args.repeats or 7
         # Paper scale: tagger batch 32, T=50, GRU hidden 50, conv width 512
@@ -972,6 +1096,15 @@ def main(argv=None) -> int:
         parallel_cfg = dict(instances=100000, annotators=47, classes=9, iterations=20,
                             shards=4, worker_counts=args.workers or [1, 2, 4])
         parallel_repeats = 3
+        # Twelve sentiment-scale datasets behind a 4-dataset resident
+        # budget: two thirds of the traffic lands on evicted datasets, so
+        # checkpoint/rehydrate churn is part of every measured number.
+        serving_cfg = dict(
+            datasets=12,
+            config=StreamScenarioConfig(instances=400, annotators=20, batch_size=40),
+            queries_per_update=2.0, max_resident=4, seed=11,
+        )
+        serving_repeats = 3
 
     started = time.time()
     results = {
@@ -998,6 +1131,7 @@ def main(argv=None) -> int:
     results["sharded_parallel"] = bench_sharded_parallel(
         repeats=parallel_repeats, rng=rng, **parallel_cfg
     )
+    results["serving"] = bench_serving(repeats=serving_repeats, **serving_cfg)
     results["wall_seconds"] = round(time.time() - started, 2)
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")
@@ -1047,6 +1181,13 @@ def main(argv=None) -> int:
           f"{entry['config']['cpu_count']} cores): "
           f"batch {entry['batch_ms']:.0f} ms, serial sharded "
           f"{entry['serial_sharded_ms']:.0f} ms, {sweep}")
+    entry = results["serving"]
+    print(f"  serving ({entry['config']['datasets']} datasets, resident "
+          f"{entry['config']['max_resident']}): "
+          f"{entry['updates_per_sec']:.0f} updates/s, query p50 "
+          f"{entry['query_p50_ms']:.2f} ms / p99 {entry['query_p99_ms']:.2f} ms, "
+          f"{entry['evictions']} evictions, recovery diff "
+          f"{entry['recovery_max_abs_diff']:.1e}")
     print(f"wrote {args.output}")
     if args.tag:
         if args.smoke:

@@ -21,6 +21,9 @@ Subpackages
     Logic-LNCL — the paper's contribution.
 ``repro.eval``
     Accuracy, strict span F1, statistics, reliability recovery.
+``repro.serving``
+    CrowdService: checkpointed streaming truth inference over many
+    datasets (snapshot queries, replay-cursor recovery, LRU eviction).
 
 Quickstart
 ----------
@@ -54,6 +57,7 @@ from . import (
     logic,
     models,
     noisy_labels,
+    serving,
     weak_supervision,
 )
 
@@ -67,6 +71,7 @@ __all__ = [
     "baselines",
     "core",
     "eval",
+    "serving",
     "weak_supervision",
     "noisy_labels",
     "__version__",

@@ -513,6 +513,24 @@ class SparseLabelShard:
     def total_annotations(self) -> int:
         return int(self._rows.size)
 
+    def to_matrix(self) -> CrowdLabelMatrix:
+        """Densify to a standalone ``(I, J)`` container.
+
+        The inverse of :meth:`from_dense` / :func:`as_sparse_shard` for
+        shards without duplicate ``(instance, annotator)`` triples — the
+        rehydration path for serving-layer checkpoints, which always
+        write from a :class:`~repro.crowd.types.CrowdLabelMatrix`. With
+        duplicate cells the last triple wins (numpy fancy-assignment
+        order), so round-tripping a deduplicated source is exact.
+        """
+        labels = np.full(
+            (self.num_instances, self.num_annotators), MISSING, dtype=np.int64
+        )
+        labels[np.asarray(self._rows), np.asarray(self._annotators)] = np.asarray(
+            self._labels
+        )
+        return CrowdLabelMatrix(labels, self.num_classes)
+
     # -- on-disk format ---------------------------------------------------- #
     def save(self, path) -> str:
         """Persist as a standalone shard file; returns the path written.

@@ -41,6 +41,7 @@ __all__ = [
     "StreamUpdateRecord",
     "StreamRunResult",
     "stream_crowd_in_batches",
+    "burst_batch_sizes",
     "run_label_stream",
     "run_arrival_order_scenario",
     "run_annotator_drift_scenario",
@@ -100,6 +101,30 @@ def stream_crowd_in_batches(crowd: CrowdLabelMatrix, sizes) -> list[CrowdLabelMa
         batches.append(crowd.subset(np.arange(start, start + size)))
         start += size
     return batches
+
+
+def burst_batch_sizes(rng: np.random.Generator, total: int, batch_size: int) -> list[int]:
+    """Heavy-tailed arrival sizes covering ``total`` instances exactly.
+
+    The burst-arrival pattern shared by :func:`run_burst_arrival_scenario`
+    and the serving workload generator (:mod:`repro.serving.workload`):
+    each tick is a quiet poll (size 0, p=0.25), a single-instance dribble
+    (p=0.30), or a burst of up to ``4 * batch_size`` instances.
+    """
+    sizes: list[int] = []
+    remaining = total
+    while remaining > 0:
+        roll = rng.random()
+        if roll < 0.25:
+            size = 0  # quiet tick: the pipeline polls, nothing arrived
+        elif roll < 0.55:
+            size = 1  # dribble
+        else:
+            size = int(rng.integers(2, 4 * batch_size))  # burst
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
 
 
 def run_label_stream(
@@ -258,19 +283,7 @@ def run_burst_arrival_scenario(
     rng = np.random.default_rng(seed)
     truth, _, crowd = _simulated_crowd(rng, config)
 
-    sizes: list[int] = []
-    remaining = config.instances
-    while remaining > 0:
-        roll = rng.random()
-        if roll < 0.25:
-            size = 0  # quiet tick: the pipeline polls, nothing arrived
-        elif roll < 0.55:
-            size = 1  # dribble
-        else:
-            size = int(rng.integers(2, 4 * config.batch_size))  # burst
-        size = min(size, remaining)
-        sizes.append(size)
-        remaining -= size
+    sizes = burst_batch_sizes(rng, config.instances, config.batch_size)
     batches = stream_crowd_in_batches(crowd, sizes)
 
     results: dict = {"scenario": "burst-arrivals", "batch_sizes": sizes, "methods": {}}

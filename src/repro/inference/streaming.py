@@ -21,10 +21,18 @@ that as a thin layer over the same sparse-crowd kernels
 
 Shared API: :meth:`~StreamingTruthInference.partial_fit` ingests one
 :class:`~repro.crowd.types.CrowdLabelMatrix` of *new* instances (same
-annotator axis throughout the stream), :meth:`~StreamingTruthInference.
-result` returns an :class:`~repro.inference.base.InferenceResult` over
-everything seen, and :meth:`~StreamingTruthInference.fit_to_convergence`
-re-estimates on the full retained stream with the batch twin. Diagnostics
+annotator axis throughout the stream; a batch that fails validation is
+rejected *before* any state is touched, so the stream is exactly as it
+was), :meth:`~StreamingTruthInference.result` returns an
+:class:`~repro.inference.base.InferenceResult` over everything seen, and
+:meth:`~StreamingTruthInference.fit_to_convergence` re-estimates on the
+full retained stream with the batch twin. :meth:`~StreamingTruthInference.
+get_state` / :meth:`~StreamingTruthInference.set_state` round-trip the
+learned state (sufficient statistics, stored posteriors, counters) as a
+flat dict of scalars and float64 arrays — the checkpoint surface the
+serving layer (:mod:`repro.serving`) persists, under the recovery
+contract that a restored stream replaying the tail of its label stream
+reproduces the uninterrupted run exactly. Diagnostics
 follow the subsystem-wide :class:`~repro.inference.base.ConvergenceMonitor`
 contract (``iterations``/``last_change``/``converged``, one step per
 update, measuring how much the annotator model still moves) plus the
@@ -72,6 +80,17 @@ __all__ = [
 # Streams are open-ended; the monitor's iteration budget must never be the
 # thing that reports "stop".
 _UNBOUNDED = 2**62
+
+# get_state/set_state payload format; bumped when keys change meaning.
+_STATE_FORMAT = 1
+
+
+def _state_array(state: dict, key: str) -> np.ndarray | None:
+    """Fetch an optional float64 array from a state dict (defensive copy)."""
+    value = state.get(key)
+    if value is None:
+        return None
+    return np.array(value, dtype=np.float64)
 
 
 class StreamingTruthInference:
@@ -127,7 +146,10 @@ class StreamingTruthInference:
 
         The batch must keep the stream's annotator axis and class count.
         Empty batches (zero instances) are legal and leave the model
-        unchanged apart from the update counter.
+        unchanged apart from the update counter. Batch compatibility is
+        validated *before* the retained crowd is touched: a rejected
+        batch raises without mutating anything — no retained labels, no
+        ``updates``/``observations_seen`` increment, no monitor step.
         """
         if not isinstance(batch, CrowdLabelMatrix):
             raise TypeError(f"streaming methods ingest CrowdLabelMatrix, got {type(batch).__name__}")
@@ -139,7 +161,11 @@ class StreamingTruthInference:
                 raise ValueError(
                     f"batch has {batch.num_classes} classes, stream has {self.num_classes}"
                 )
-            # extend() validates the annotator axis.
+            if batch.num_annotators != self.num_annotators:
+                raise ValueError(
+                    f"batch has {batch.num_annotators} annotators, "
+                    f"stream has {self.num_annotators}"
+                )
             self.crowd.extend(batch.labels)
         delta = self._ingest(batch)
         self.updates += 1
@@ -153,13 +179,15 @@ class StreamingTruthInference:
         With ``refresh=False`` (default) each instance keeps the posterior
         computed when its batch arrived — O(I) assembly, no label scans.
         ``refresh=True`` re-runs one E-step over the full retained stream
-        under the *current* annotator model (O(total observations), result
-        time only) so early instances benefit from later evidence.
+        under the *current* annotator model (O(total observations)) so
+        early instances benefit from later evidence. The refresh is
+        computed into the returned result only — stored ingest-time
+        posteriors are never overwritten, so a later
+        ``result(refresh=False)`` still reports them (contract pinned by
+        ``tests/inference/test_streaming.py``).
         """
         self._require_data()
-        if refresh:
-            self._refresh_posteriors()
-        blocks = self._posterior_blocks()
+        blocks = self._refreshed_blocks() if refresh else self._posterior_blocks()
         posterior = (
             np.concatenate(blocks, axis=0)
             if blocks
@@ -220,7 +248,83 @@ class StreamingTruthInference:
             posterior=posterior, confusions=sub.confusions, extras=extras
         )
 
+    # -- checkpoint surface -------------------------------------------- #
+    def get_state(self) -> dict:
+        """Serializable snapshot of the learned streaming state.
+
+        The returned dict holds only scalars, None, and float64 arrays,
+        so it round-trips losslessly through ``np.savez`` — the codec the
+        serving layer's checkpoints use (:mod:`repro.serving.state`).
+        Restoring it with :meth:`set_state` into a freshly-constructed
+        instance (same constructor configuration) and re-attaching the
+        retained crowd reproduces the stream bit-for-bit: replaying the
+        tail of a label stream after a restore matches the uninterrupted
+        run exactly (the recovery contract pinned by
+        ``tests/serving/test_recovery.py``). The retained crowd is *not*
+        embedded — it dominates the checkpoint size and already has a
+        durable form (:class:`~repro.crowd.sharding.SparseLabelShard`).
+        """
+        state = {
+            "format": _STATE_FORMAT,
+            "method": self.name,
+            "decay": self.decay,
+            "updates": self.updates,
+            "observations_seen": self.observations_seen,
+            "monitor_iterations": self._monitor.iterations,
+            "monitor_last_change": self._monitor.last_change,
+            "monitor_converged": self._monitor.converged,
+        }
+        state.update(self._model_state())
+        return state
+
+    def set_state(self, state: dict, crowd: CrowdLabelMatrix | None = None) -> "StreamingTruthInference":
+        """Restore a :meth:`get_state` snapshot (plus the retained crowd).
+
+        The instance must be constructed with the configuration the
+        snapshot was taken under; ``method`` and ``decay`` are
+        cross-checked here because they change what the restored state
+        *means*, while the remaining knobs (iteration budgets, learning
+        rates) only shape future updates. Arrays are defensively copied.
+        """
+        method = state.get("method")
+        if method != self.name:
+            raise ValueError(f"state is for method {method!r}, this stream is {self.name!r}")
+        version = int(state.get("format", -1))
+        if version != _STATE_FORMAT:
+            raise ValueError(f"unsupported streaming state format {version}")
+        decay = state.get("decay")
+        decay = None if decay is None else float(decay)
+        if decay != self.decay:
+            raise ValueError(
+                f"state was taken with decay={decay!r}, this stream has decay={self.decay!r}"
+            )
+        updates = int(state["updates"])
+        if crowd is not None and not isinstance(crowd, CrowdLabelMatrix):
+            raise TypeError(
+                f"crowd must be a CrowdLabelMatrix, got {type(crowd).__name__}"
+            )
+        if crowd is None and updates > 0:
+            raise ValueError(
+                "a stream that has ingested batches needs its retained crowd back"
+            )
+        self.crowd = crowd
+        self.updates = updates
+        self.observations_seen = int(state["observations_seen"])
+        self._monitor.iterations = int(state["monitor_iterations"])
+        self._monitor.last_change = float(state["monitor_last_change"])
+        self._monitor.converged = bool(state["monitor_converged"])
+        self._set_model_state(state)
+        return self
+
     # -- subclass hooks ------------------------------------------------ #
+    def _model_state(self) -> dict:
+        """Subclass state block for :meth:`get_state` (arrays or None)."""
+        raise NotImplementedError
+
+    def _set_model_state(self, state: dict) -> None:
+        """Restore the :meth:`_model_state` block (inverse hook)."""
+        raise NotImplementedError
+
     def _check_first_batch(self, batch: CrowdLabelMatrix) -> None:
         """Structural constraints checked before the stream starts."""
 
@@ -231,8 +335,13 @@ class StreamingTruthInference:
     def _posterior_blocks(self) -> list[np.ndarray]:
         raise NotImplementedError
 
-    def _refresh_posteriors(self) -> None:
-        """Recompute all stored posteriors under the current model."""
+    def _refreshed_blocks(self) -> list[np.ndarray]:
+        """Posterior blocks recomputed under the current model.
+
+        Must be side-effect-free: ``result(refresh=True)`` consumes the
+        returned blocks without storing them, so the ingest-time
+        posteriors survive a refresh.
+        """
         raise NotImplementedError
 
     def _current_confusions(self) -> np.ndarray | None:
@@ -288,8 +397,15 @@ class StreamingMajorityVote(StreamingTruthInference):
     def _posterior_blocks(self) -> list[np.ndarray]:
         return [majority_vote_posterior(self.crowd)]
 
-    def _refresh_posteriors(self) -> None:
-        pass  # result() always reflects every vote seen
+    def _refreshed_blocks(self) -> list[np.ndarray]:
+        return self._posterior_blocks()  # always reflects every vote seen
+
+    def _model_state(self) -> dict:
+        return {"vote_totals": self._vote_totals, "vote_share": self._vote_share}
+
+    def _set_model_state(self, state: dict) -> None:
+        self._vote_totals = _state_array(state, "vote_totals")
+        self._vote_share = _state_array(state, "vote_share")
 
     def _batch_twin(self) -> MajorityVote:
         return MajorityVote()
@@ -397,10 +513,36 @@ class StreamingDawidSkene(StreamingTruthInference):
     def _posterior_blocks(self) -> list[np.ndarray]:
         return self._blocks
 
-    def _refresh_posteriors(self) -> None:
+    def _refreshed_blocks(self) -> list[np.ndarray]:
         if self._confusions is None:
-            return
-        self._blocks = [self._e_step(self.crowd)]
+            return list(self._blocks)
+        return [self._e_step(self.crowd)]
+
+    def _model_state(self) -> dict:
+        return {
+            "stat_confusions": self._stat_confusions,
+            "stat_prior": self._stat_prior,
+            "confusions": self._confusions,
+            "prior": self._prior,
+            # Stored per-batch posteriors concatenate losslessly: they are
+            # only ever appended to and concatenated, never re-split.
+            "posterior_blocks": (
+                np.concatenate(self._blocks, axis=0) if self._blocks else None
+            ),
+        }
+
+    def _set_model_state(self, state: dict) -> None:
+        self._stat_confusions = _state_array(state, "stat_confusions")
+        self._stat_prior = _state_array(state, "stat_prior")
+        self._confusions = _state_array(state, "confusions")
+        self._prior = _state_array(state, "prior")
+        packed = _state_array(state, "posterior_blocks")
+        self._blocks = [] if packed is None else [packed]
+        if packed is not None and self.crowd is not None and packed.shape[0] != self.crowd.num_instances:
+            raise ValueError(
+                f"state holds {packed.shape[0]} posterior rows, "
+                f"crowd has {self.crowd.num_instances} instances"
+            )
 
     def _current_confusions(self) -> np.ndarray | None:
         return self._confusions
@@ -501,16 +643,21 @@ class StreamingGLAD(StreamingTruthInference):
 
     def _ingest(self, batch: CrowdLabelMatrix) -> float:
         J = self.num_annotators
-        if self._alpha is None:
-            self._alpha = np.ones(J)
-            self._label_counts = np.zeros(J)
         rows, cols, given = batch.flat_label_pairs()
         if rows.size == 0:
             # Observation-free update: abilities and history untouched.
+            # Until a real batch has trained the abilities the stream has
+            # learned nothing, so the monitor must keep reporting "not
+            # converged" — the same `is None` guard StreamingDawidSkene
+            # uses, not an update-counter check (an empty→empty stream
+            # has updates > 0 but an untrained model).
             self._log_beta_blocks.append(np.zeros(batch.num_instances))
             prior = np.full(batch.num_instances, self.prior_correct)
             self._blocks.append(np.stack([1.0 - prior, prior], axis=1))
-            return np.inf if self.updates == 0 else 0.0
+            return np.inf if self._alpha is None else 0.0
+        if self._alpha is None:
+            self._alpha = np.ones(J)
+            self._label_counts = np.zeros(J)
         votes_one = given == 1
         self._label_counts = self._decay_factor() * self._label_counts + np.bincount(
             cols, minlength=J
@@ -557,16 +704,40 @@ class StreamingGLAD(StreamingTruthInference):
     def _posterior_blocks(self) -> list[np.ndarray]:
         return self._blocks
 
-    def _refresh_posteriors(self) -> None:
+    def _refreshed_blocks(self) -> list[np.ndarray]:
         if self._alpha is None or not self._log_beta_blocks:
-            return
+            return list(self._blocks)
         rows, cols, given = self.crowd.flat_label_pairs()
         log_beta = np.concatenate(self._log_beta_blocks)
         posterior_one = self._posterior_one(
             rows, cols, given == 1, log_beta, self.crowd.num_instances
         )
-        self._blocks = [np.stack([1.0 - posterior_one, posterior_one], axis=1)]
-        self._log_beta_blocks = [log_beta]
+        return [np.stack([1.0 - posterior_one, posterior_one], axis=1)]
+
+    def _model_state(self) -> dict:
+        return {
+            "alpha": self._alpha,
+            "label_counts": self._label_counts,
+            "log_beta": (
+                np.concatenate(self._log_beta_blocks) if self._log_beta_blocks else None
+            ),
+            "posterior_blocks": (
+                np.concatenate(self._blocks, axis=0) if self._blocks else None
+            ),
+        }
+
+    def _set_model_state(self, state: dict) -> None:
+        self._alpha = _state_array(state, "alpha")
+        self._label_counts = _state_array(state, "label_counts")
+        log_beta = _state_array(state, "log_beta")
+        self._log_beta_blocks = [] if log_beta is None else [log_beta]
+        packed = _state_array(state, "posterior_blocks")
+        self._blocks = [] if packed is None else [packed]
+        if log_beta is not None and self.crowd is not None and log_beta.shape[0] != self.crowd.num_instances:
+            raise ValueError(
+                f"state holds {log_beta.shape[0]} difficulty rows, "
+                f"crowd has {self.crowd.num_instances} instances"
+            )
 
     def _no_evidence_posterior(self, sub_result: InferenceResult) -> np.ndarray:
         # GLAD's E-step gives an unlabeled instance the class-1 prior.

@@ -1,0 +1,379 @@
+"""CrowdService: long-lived truth inference over many label streams.
+
+The ROADMAP's north-star scenario made concrete: one process owns the
+streaming inference state of many datasets, absorbs interleaved
+``partial_fit(dataset_id, batch)`` updates and ``query(dataset_id)``
+posterior reads, survives restarts, and bounds resident memory. The
+service is a thin ownership layer — all statistics live in the
+:mod:`repro.inference.streaming` estimators (any ``"streaming"`` registry
+method); the service adds exactly four behaviors:
+
+* **State ownership** — one estimator per dataset, created on first
+  ``partial_fit`` (or explicitly via :meth:`CrowdService.create_dataset`)
+  with the service's method + constructor overrides. The configuration is
+  recorded in every checkpoint, so a restarted service resumes each
+  dataset under the configuration it was actually trained with.
+* **Snapshot semantics** — queries see the last *completed* update. Each
+  dataset has a lock serializing updates/recomputation, and a versioned
+  ``(version, result)`` snapshot swapped in atomically: a query landing
+  mid-update is answered from the previous completed version (no torn
+  reads of half-ingested statistics), and repeated queries between
+  updates are O(1) cache hits.
+* **Checkpoints + replay cursor** — :meth:`CrowdService.checkpoint`
+  serializes the estimator's sufficient statistics
+  (:meth:`~repro.inference.streaming.StreamingTruthInference.get_state`)
+  plus the retained crowd (a :class:`~repro.crowd.sharding.
+  SparseLabelShard` file) via :mod:`repro.serving.state`. The state's
+  ``updates`` counter is the replay cursor: :meth:`CrowdService.cursor`
+  tells a label source how many batches were durably applied, and
+  replaying the tail after a restore reproduces the uninterrupted stream
+  exactly (the recovery contract — pinned by
+  ``tests/serving/test_recovery.py`` and gated in the serving bench).
+* **Eviction** — with ``max_resident`` set, cold datasets (LRU by
+  last-touch) are checkpointed and dropped from memory; the next touch
+  rehydrates them transparently from disk. Disk is the source of truth
+  for evicted datasets, so eviction is also what bounds recovery loss:
+  an evicted dataset loses nothing on a crash.
+
+Dataset ids are path-safe names (``[A-Za-z0-9][A-Za-z0-9._-]*``); each
+dataset checkpoints under ``root/<dataset_id>/``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+from pathlib import Path
+
+from ..inference import get_method
+from ..inference.base import InferenceResult
+from .state import load_crowd, load_stream_state, save_crowd, save_stream_state
+
+__all__ = ["CrowdService"]
+
+_DATASET_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_STATE_FILE = "state.npz"
+_CROWD_FILE = "crowd.shard"
+_METHOD_KEY = "service_method"
+_OVERRIDE_PREFIX = "override__"
+
+
+class _DatasetEntry:
+    """Per-dataset slot: estimator (when resident), lock, snapshot, LRU tick."""
+
+    __slots__ = (
+        "dataset_id", "method", "overrides", "lock", "stream",
+        "snapshot", "version", "last_touch", "dirty",
+    )
+
+    def __init__(self, dataset_id: str, method: str | None, overrides: dict) -> None:
+        self.dataset_id = dataset_id
+        self.method = method              # None until the checkpoint is read
+        self.overrides = dict(overrides)
+        self.lock = threading.Lock()
+        self.stream = None                # StreamingTruthInference | None (cold)
+        self.snapshot: tuple[int, InferenceResult] | None = None
+        self.version = 0                  # completed updates (replay cursor)
+        self.last_touch = 0
+        self.dirty = False                # updates newer than the checkpoint
+
+
+class CrowdService:
+    """Serve streaming truth inference for many datasets (see module docs).
+
+    Parameters
+    ----------
+    root:
+        Checkpoint directory. Datasets already checkpointed under it are
+        discovered at construction and resume from disk on first touch.
+    method:
+        ``"streaming"`` registry name used for new datasets (default DS).
+    max_resident:
+        Resident-dataset budget; ``None`` means never evict.
+    method_overrides:
+        Constructor overrides for new datasets' estimators (e.g.
+        ``decay=0.6``, ``inner_sweeps=1``). Values must be scalars so the
+        configuration can ride inside the checkpoint file.
+    """
+
+    def __init__(
+        self,
+        root,
+        method: str = "DS",
+        max_resident: int | None = None,
+        **method_overrides,
+    ) -> None:
+        if max_resident is not None and max_resident < 1:
+            raise ValueError(f"max_resident must be at least 1, got {max_resident}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.method = method
+        self.method_overrides = dict(method_overrides)
+        self.max_resident = max_resident
+        self._lock = threading.Lock()  # registry dict, LRU clock, stats
+        self._entries: dict[str, _DatasetEntry] = {}
+        self._clock = itertools.count(1)
+        self.stats = {"evictions": 0, "rehydrations": 0, "checkpoints": 0}
+        for child in sorted(self.root.iterdir()):
+            if (child / _STATE_FILE).is_file() and _DATASET_ID.match(child.name):
+                self._entries[child.name] = _DatasetEntry(child.name, None, {})
+
+    # -- registry ------------------------------------------------------- #
+    def _entry(self, dataset_id: str, create: bool) -> _DatasetEntry:
+        with self._lock:
+            entry = self._entries.get(dataset_id)
+            if entry is None:
+                if not create:
+                    known = ", ".join(sorted(self._entries)) or "none"
+                    raise KeyError(f"unknown dataset {dataset_id!r} (known: {known})")
+                if not _DATASET_ID.match(dataset_id):
+                    raise ValueError(
+                        f"dataset id {dataset_id!r} is not path-safe "
+                        "(need [A-Za-z0-9][A-Za-z0-9._-]*)"
+                    )
+                entry = _DatasetEntry(dataset_id, self.method, self.method_overrides)
+                self._entries[dataset_id] = entry
+            entry.last_touch = next(self._clock)
+            return entry
+
+    def datasets(self) -> tuple[str, ...]:
+        """Every known dataset id (resident or checkpointed), sorted."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def resident_datasets(self) -> tuple[str, ...]:
+        """Ids currently holding in-memory estimator state, sorted."""
+        with self._lock:
+            return tuple(
+                sorted(name for name, entry in self._entries.items() if entry.stream is not None)
+            )
+
+    # -- residency ------------------------------------------------------ #
+    def _dataset_dir(self, dataset_id: str) -> Path:
+        return self.root / dataset_id
+
+    def _ensure_resident(self, entry: _DatasetEntry) -> None:
+        """Rehydrate (or freshly create) the estimator; entry.lock held."""
+        if entry.stream is not None:
+            return
+        state_path = self._dataset_dir(entry.dataset_id) / _STATE_FILE
+        if state_path.is_file():
+            state = load_stream_state(state_path)
+            method = state.pop(_METHOD_KEY, entry.method or self.method)
+            overrides = {
+                key[len(_OVERRIDE_PREFIX):]: value
+                for key, value in state.items()
+                if key.startswith(_OVERRIDE_PREFIX)
+            }
+            for key in list(state):
+                if key.startswith(_OVERRIDE_PREFIX):
+                    del state[key]
+            crowd_path = self._dataset_dir(entry.dataset_id) / _CROWD_FILE
+            crowd = load_crowd(crowd_path) if crowd_path.is_file() else None
+            stream = get_method(method, kind="streaming", **overrides)
+            stream.set_state(state, crowd)
+            entry.stream = stream
+            entry.method = method
+            entry.overrides = overrides
+            entry.version = stream.updates
+            entry.dirty = False
+            with self._lock:
+                self.stats["rehydrations"] += 1
+        else:
+            entry.method = entry.method or self.method
+            entry.stream = get_method(entry.method, kind="streaming", **entry.overrides)
+            entry.version = 0
+            entry.dirty = False
+
+    # -- the serving surface -------------------------------------------- #
+    def create_dataset(self, dataset_id: str, method: str | None = None, **overrides) -> str:
+        """Register a dataset explicitly (optionally off-default config).
+
+        ``partial_fit`` creates datasets implicitly with the service
+        defaults; this is the hook for per-dataset method/configuration.
+        Re-creating a known dataset raises.
+        """
+        with self._lock:
+            if dataset_id in self._entries:
+                raise ValueError(f"dataset {dataset_id!r} already exists")
+            if not _DATASET_ID.match(dataset_id):
+                raise ValueError(
+                    f"dataset id {dataset_id!r} is not path-safe "
+                    "(need [A-Za-z0-9][A-Za-z0-9._-]*)"
+                )
+            chosen = dict(self.method_overrides) if method is None and not overrides else dict(overrides)
+            entry = _DatasetEntry(dataset_id, method or self.method, chosen)
+            entry.last_touch = next(self._clock)
+            self._entries[dataset_id] = entry
+        return dataset_id
+
+    def partial_fit(self, dataset_id: str, batch) -> dict:
+        """Apply one update; returns the post-update cursor (completed updates).
+
+        Creates the dataset on first touch. The per-dataset lock makes
+        the update atomic with respect to queries: until ``partial_fit``
+        returns, queries are answered from the previous completed
+        version. A batch the estimator rejects leaves the dataset
+        exactly as it was (the streaming layer validates before
+        mutating).
+        """
+        entry = self._entry(dataset_id, create=True)
+        with entry.lock:
+            self._ensure_resident(entry)
+            entry.stream.partial_fit(batch)
+            entry.version = entry.stream.updates
+            entry.dirty = True
+            ack = {
+                "dataset_id": dataset_id,
+                "updates": entry.version,
+                "observations_seen": entry.stream.observations_seen,
+            }
+        self._maybe_evict(keep=entry)
+        return ack
+
+    def query(self, dataset_id: str, refresh: bool = False) -> InferenceResult:
+        """Posterior over everything the dataset's stream has seen.
+
+        Snapshot semantics: the result always reflects the last
+        *completed* update. Between updates, repeated ``refresh=False``
+        queries return the cached snapshot (O(1)); ``refresh=True``
+        recomputes under the current annotator model every call (the
+        streaming layer keeps refresh side-effect-free, so it never
+        disturbs the ingest-time posteriors the snapshot serves).
+        Unknown datasets raise ``KeyError``.
+        """
+        entry = self._entry(dataset_id, create=False)
+        if not refresh:
+            snapshot = entry.snapshot
+            if snapshot is not None and snapshot[0] == entry.version:
+                return snapshot[1]
+        with entry.lock:
+            self._ensure_resident(entry)
+            result = entry.stream.result(refresh=refresh)
+            if not refresh:
+                entry.snapshot = (entry.version, result)
+        self._maybe_evict(keep=entry)
+        return result
+
+    def cursor(self, dataset_id: str) -> int:
+        """Replay cursor: completed updates applied for this dataset.
+
+        For a cold dataset this reads the checkpoint header instead of
+        rehydrating. A label source resuming after a restart feeds
+        batches ``cursor(id)`` onward — the recovery contract guarantees
+        the result matches the uninterrupted stream.
+        """
+        with self._lock:
+            entry = self._entries.get(dataset_id)
+        if entry is None:
+            raise KeyError(f"unknown dataset {dataset_id!r}")
+        with entry.lock:
+            if entry.stream is not None:
+                return entry.version
+            state_path = self._dataset_dir(dataset_id) / _STATE_FILE
+            if state_path.is_file():
+                return int(load_stream_state(state_path)["updates"])
+            return 0
+
+    # -- durability ------------------------------------------------------ #
+    def checkpoint(self, dataset_id: str | None = None) -> dict:
+        """Serialize state + crowd + cursor to ``root/<id>/`` (all ids by default).
+
+        Returns ``{dataset_id: cursor}``. Already-clean datasets (cold,
+        or resident with no updates since the last checkpoint) are not
+        rewritten.
+        """
+        targets = self.datasets() if dataset_id is None else (dataset_id,)
+        cursors = {}
+        for target in targets:
+            with self._lock:
+                entry = self._entries.get(target)
+            if entry is None:
+                raise KeyError(f"unknown dataset {target!r}")
+            with entry.lock:
+                cursors[target] = self._checkpoint_locked(entry)
+        return cursors
+
+    def _checkpoint_locked(self, entry: _DatasetEntry) -> int:
+        """Write the checkpoint if needed; returns the durable cursor."""
+        state_path = self._dataset_dir(entry.dataset_id) / _STATE_FILE
+        if entry.stream is None:
+            # Cold datasets: the on-disk checkpoint already IS the state.
+            if state_path.is_file():
+                return int(load_stream_state(state_path)["updates"])
+            self._ensure_resident(entry)  # registered but never fed
+        elif not entry.dirty and state_path.is_file():
+            return entry.version
+        state = entry.stream.get_state()
+        state[_METHOD_KEY] = entry.method
+        for key, value in entry.overrides.items():
+            state[_OVERRIDE_PREFIX + key] = value
+        directory = self._dataset_dir(entry.dataset_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_stream_state(directory / _STATE_FILE, state)
+        if entry.stream.crowd is not None:
+            save_crowd(directory / _CROWD_FILE, entry.stream.crowd)
+        entry.dirty = False
+        with self._lock:
+            self.stats["checkpoints"] += 1
+        return entry.version
+
+    def evict(self, dataset_id: str) -> bool:
+        """Checkpoint (if dirty) and drop a dataset's in-memory state.
+
+        Returns True if the dataset was resident. The next touch
+        rehydrates it transparently from the checkpoint.
+        """
+        with self._lock:
+            entry = self._entries.get(dataset_id)
+        if entry is None:
+            raise KeyError(f"unknown dataset {dataset_id!r}")
+        with entry.lock:
+            return self._evict_locked(entry)
+
+    def _evict_locked(self, entry: _DatasetEntry) -> bool:
+        if entry.stream is None:
+            return False
+        if entry.dirty:
+            self._checkpoint_locked(entry)
+        entry.stream = None
+        entry.snapshot = None
+        with self._lock:
+            self.stats["evictions"] += 1
+        return True
+
+    def _maybe_evict(self, keep: _DatasetEntry | None = None) -> None:
+        """Enforce the resident budget (LRU by last-touch)."""
+        if self.max_resident is None:
+            return
+        while True:
+            with self._lock:
+                resident = [
+                    entry for entry in self._entries.values() if entry.stream is not None
+                ]
+                if len(resident) <= self.max_resident:
+                    return
+                candidates = [entry for entry in resident if entry is not keep]
+                if not candidates:
+                    return
+                victim = min(candidates, key=lambda entry: entry.last_touch)
+            with victim.lock:
+                self._evict_locked(victim)
+
+    def close(self) -> None:
+        """Checkpoint every dirty resident dataset (estimators stay resident)."""
+        for dataset_id in self.datasets():
+            with self._lock:
+                entry = self._entries.get(dataset_id)
+            if entry is None:
+                continue
+            with entry.lock:
+                if entry.stream is not None and entry.dirty:
+                    self._checkpoint_locked(entry)
+
+    def __enter__(self) -> "CrowdService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

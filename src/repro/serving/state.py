@@ -1,0 +1,99 @@
+"""Checkpoint codec: streaming state dicts and retained crowds on disk.
+
+A :class:`~repro.inference.streaming.StreamingTruthInference` checkpoint
+has two parts with very different shapes, so they get two files:
+
+* the **learned state** — the flat dict :meth:`~repro.inference.streaming.
+  StreamingTruthInference.get_state` returns (scalars, None, and float64
+  arrays). :func:`save_stream_state` writes it as an ``.npz`` archive,
+  one member per key; scalars become 0-d arrays and decode back via
+  ``.item()``, ``None`` values are recorded by key name in a
+  ``__none_keys__`` member (``np.savez`` cannot hold None without
+  pickling, and these files must stay ``allow_pickle=False``). float64
+  arrays round-trip bit-exactly, which is what makes restored streams
+  replay-identical to uninterrupted ones.
+* the **retained crowd** — dominated by label triples, so it reuses the
+  durable shard format: :func:`save_crowd` writes any crowd container as
+  a :class:`~repro.crowd.sharding.SparseLabelShard` header+COO file and
+  :func:`load_crowd` densifies it back via
+  :meth:`~repro.crowd.sharding.SparseLabelShard.to_matrix`.
+
+Both writers go through a temp file + ``os.replace``, so a crash during
+checkpointing leaves the previous checkpoint intact (recovery reads
+either the old complete checkpoint or the new complete one, never a
+torn file).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..crowd.sharding import SparseLabelShard, as_sparse_shard
+from ..crowd.types import CrowdLabelMatrix
+
+__all__ = [
+    "save_stream_state",
+    "load_stream_state",
+    "save_crowd",
+    "load_crowd",
+]
+
+_NONE_KEYS = "__none_keys__"
+
+
+def save_stream_state(path, state: dict) -> str:
+    """Write a ``get_state()`` dict as an ``.npz`` archive (atomically)."""
+    path = str(path)
+    none_keys = sorted(key for key, value in state.items() if value is None)
+    payload = {}
+    for key, value in state.items():
+        if key == _NONE_KEYS:
+            raise ValueError(f"{_NONE_KEYS!r} is reserved for the codec")
+        if value is None:
+            continue
+        payload[key] = np.asarray(value)
+    payload[_NONE_KEYS] = np.asarray(none_keys, dtype=np.str_)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as stream:
+        np.savez(stream, **payload)
+    os.replace(tmp, path)
+    return path
+
+
+def load_stream_state(path) -> dict:
+    """Read a :func:`save_stream_state` archive back into a state dict."""
+    with np.load(str(path), allow_pickle=False) as payload:
+        if _NONE_KEYS not in payload.files:
+            raise ValueError(f"{path} is not a stream-state file (no {_NONE_KEYS})")
+        state: dict = {str(key): None for key in payload[_NONE_KEYS]}
+        for key in payload.files:
+            if key == _NONE_KEYS:
+                continue
+            value = payload[key]
+            state[key] = value.item() if value.ndim == 0 else value
+    return state
+
+
+def save_crowd(path, crowd) -> str:
+    """Write any crowd container as a shard file (atomically).
+
+    Accepts whatever :func:`~repro.crowd.sharding.as_sparse_shard` does —
+    in the serving layer that is the stream's retained
+    :class:`~repro.crowd.types.CrowdLabelMatrix`.
+    """
+    path = str(path)
+    if path.endswith(".npz"):
+        # The shard writer switches to an eager zip layout on .npz, and
+        # the temp-file suffix below would silently flip it back.
+        raise ValueError("crowd checkpoints use the header+COO layout; drop the .npz suffix")
+    tmp = path + ".tmp"
+    as_sparse_shard(crowd).save(tmp)
+    os.replace(tmp, path)
+    return path
+
+
+def load_crowd(path) -> CrowdLabelMatrix:
+    """Load a :func:`save_crowd` file back into a dense label container."""
+    return SparseLabelShard.load(str(path), mmap=False).to_matrix()

@@ -1,0 +1,117 @@
+"""Serving workloads: bursty, many-dataset label traffic for CrowdService.
+
+The streaming suite (:mod:`repro.experiments.streaming_suite`) stresses
+one stream at a time; a service owns many. This module composes the
+suite's generators — the simulator crowd family, the heavy-tailed
+:func:`~repro.experiments.streaming_suite.burst_batch_sizes` arrival
+pattern, and :func:`~repro.experiments.streaming_suite.
+stream_crowd_in_batches` — into one interleaved event schedule: per-tick
+a random dataset receives its next arrival batch (quiet ticks and bursts
+included), followed by a Poisson number of posterior queries against
+random already-started datasets. Replaying the schedule against a
+:class:`~repro.serving.service.CrowdService` with a small resident
+budget exercises exactly the hot/cold churn the eviction policy exists
+for; the serving section of ``benchmarks/bench_hotpaths.py`` times it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crowd.simulation import sample_annotator_pool, simulate_classification_crowd
+from ..crowd.types import CrowdLabelMatrix
+from ..experiments.streaming_suite import (
+    StreamScenarioConfig,
+    burst_batch_sizes,
+    stream_crowd_in_batches,
+)
+
+__all__ = ["ServingEvent", "ServingWorkload", "build_serving_workload"]
+
+
+@dataclass(frozen=True)
+class ServingEvent:
+    """One schedule tick: an update (with its batch) or a posterior query."""
+
+    kind: str  # "update" | "query"
+    dataset_id: str
+    batch: CrowdLabelMatrix | None = None
+
+
+@dataclass
+class ServingWorkload:
+    """An interleaved schedule plus the per-dataset simulator ground truth."""
+
+    events: list[ServingEvent]
+    truths: dict[str, np.ndarray]
+    datasets: tuple[str, ...]
+    config: StreamScenarioConfig = field(default_factory=StreamScenarioConfig)
+
+    @property
+    def update_count(self) -> int:
+        return sum(1 for event in self.events if event.kind == "update")
+
+    @property
+    def query_count(self) -> int:
+        return sum(1 for event in self.events if event.kind == "query")
+
+    def updates_for(self, dataset_id: str) -> list[CrowdLabelMatrix]:
+        """The dataset's arrival batches in schedule order (for replays)."""
+        return [
+            event.batch
+            for event in self.events
+            if event.kind == "update" and event.dataset_id == dataset_id
+        ]
+
+
+def build_serving_workload(
+    seed: int = 0,
+    datasets: int = 6,
+    config: StreamScenarioConfig | None = None,
+    queries_per_update: float = 1.0,
+) -> ServingWorkload:
+    """Deterministic bursty schedule over ``datasets`` simulated crowds.
+
+    Each dataset draws its own annotator pool and ground truth from the
+    shared seeded generator and is cut into burst-arrival batches; the
+    interleaving picks a random dataset with pending arrivals per tick,
+    then emits ``Poisson(queries_per_update)`` queries against random
+    datasets that have already received at least one batch (the service
+    would reject reads of never-seen datasets).
+    """
+    if datasets < 1:
+        raise ValueError(f"need at least one dataset, got {datasets}")
+    config = config or StreamScenarioConfig()
+    rng = np.random.default_rng(seed)
+    ids = tuple(f"ds-{index:03d}" for index in range(datasets))
+
+    queues: dict[str, list[CrowdLabelMatrix]] = {}
+    truths: dict[str, np.ndarray] = {}
+    for dataset_id in ids:
+        truth = rng.integers(0, config.num_classes, size=config.instances)
+        pool = sample_annotator_pool(rng, config.annotators, config.num_classes)
+        crowd = simulate_classification_crowd(
+            rng, truth, pool, mean_labels_per_instance=config.mean_labels_per_instance
+        )
+        sizes = burst_batch_sizes(rng, config.instances, config.batch_size)
+        queues[dataset_id] = stream_crowd_in_batches(crowd, sizes)
+        truths[dataset_id] = truth
+
+    events: list[ServingEvent] = []
+    sent = {dataset_id: 0 for dataset_id in ids}
+    live = [dataset_id for dataset_id in ids if queues[dataset_id]]
+    while live:
+        dataset_id = live[int(rng.integers(len(live)))]
+        events.append(
+            ServingEvent("update", dataset_id, queues[dataset_id][sent[dataset_id]])
+        )
+        sent[dataset_id] += 1
+        if sent[dataset_id] == len(queues[dataset_id]):
+            live.remove(dataset_id)
+        for _ in range(int(rng.poisson(queries_per_update))):
+            target = ids[int(rng.integers(len(ids)))]
+            if sent[target] > 0:
+                events.append(ServingEvent("query", target))
+    return ServingWorkload(events=events, truths=truths, datasets=ids, config=config)

@@ -745,3 +745,23 @@ class TestSparseLabelShardValidation:
             shard.annotations_per_annotator(), crowd.annotations_per_annotator()
         )
         assert shard.total_annotations() == crowd.total_annotations()
+
+    def test_to_matrix_densifies_exactly(self, crowd, tmp_path):
+        # dense → COO → dense is lossless, including unlabeled instances
+        # and a save/load hop — the serving layer's crowd rehydration path.
+        shard = SparseLabelShard.from_dense(crowd.labels, crowd.num_classes)
+        restored = shard.to_matrix()
+        np.testing.assert_array_equal(restored.labels, crowd.labels)
+        assert restored.num_classes == crowd.num_classes
+        reloaded = SparseLabelShard.load(shard.save(tmp_path / "crowd.shard"), mmap=False)
+        np.testing.assert_array_equal(reloaded.to_matrix().labels, crowd.labels)
+
+    def test_to_matrix_handles_empty_shard(self):
+        shard = SparseLabelShard(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            num_instances=0, num_annotators=4, num_classes=2,
+        )
+        matrix = shard.to_matrix()
+        assert matrix.labels.shape == (0, 4)
+        assert matrix.num_classes == 2

@@ -238,6 +238,156 @@ class TestStreamingDawidSkene:
         assert diag[None] > diag[0.5] + 0.2
 
 
+class TestStreamingContracts:
+    """Regression pins for the streaming-contract fixes (PR 8).
+
+    Each of the first three tests fails on the pre-fix code: GLAD flagged
+    observation-free streams converged after the first tick, ``refresh``
+    permanently overwrote the stored ingest-time posteriors, and batch
+    validation ran after the retained crowd had already been extended.
+    """
+
+    @pytest.mark.parametrize("name", ("DS", "GLAD"))
+    def test_observation_free_stream_never_reports_converged(self, name):
+        # An empty → empty → ... stream has updates > 0 but an untrained
+        # model; the monitor delta must stay inf until a real batch lands.
+        empty = CrowdLabelMatrix(np.zeros((0, 4), dtype=np.int64), 2)
+        stream = get_method(name, kind="streaming", tolerance=1e-3)
+        for _ in range(4):
+            stream.partial_fit(empty)
+            extras = stream.result().extras
+            assert extras["converged"] is False
+            assert extras["last_change"] == np.inf
+
+    @pytest.mark.parametrize("name", ("DS", "GLAD"))
+    def test_observation_free_delta_is_zero_once_trained(self, name, binary_crowd):
+        # After a real batch the model exists, so "nothing arrived, nothing
+        # moved" is an honest 0.0.
+        empty = CrowdLabelMatrix(np.zeros((0, 10), dtype=np.int64), 2)
+        stream = get_method(name, kind="streaming")
+        stream.partial_fit(empty)
+        stream.partial_fit(binary_crowd.subset(np.arange(60)))
+        stream.partial_fit(empty)
+        assert stream.result().extras["last_change"] == 0.0
+
+    @pytest.mark.parametrize("name", STREAMING_METHODS)
+    def test_refresh_is_side_effect_free(self, name, binary_crowd):
+        stream = get_method(name, kind="streaming")
+        for batch in stream_crowd_in_batches(binary_crowd, [20, 50, 50]):
+            stream.partial_fit(batch)
+        ingest_time = stream.result(refresh=False).posterior.copy()
+        refreshed = stream.result(refresh=True).posterior.copy()
+        # Pre-fix this read returned the refreshed posteriors: the refresh
+        # had overwritten the stored blocks.
+        np.testing.assert_array_equal(
+            stream.result(refresh=False).posterior, ingest_time
+        )
+        # Same model, same data: refreshing again reproduces the refresh.
+        np.testing.assert_array_equal(
+            stream.result(refresh=True).posterior, refreshed
+        )
+        if name != "MV":  # MV's result always reflects every vote
+            assert np.abs(refreshed - ingest_time).max() > 0
+
+    def test_glad_refresh_keeps_difficulty_blocks(self, binary_crowd):
+        # Pre-fix the refresh also collapsed _log_beta_blocks into one
+        # block; the per-batch difficulty state must survive a read.
+        stream = StreamingGLAD()
+        for batch in stream_crowd_in_batches(binary_crowd, [40, 40, 40]):
+            stream.partial_fit(batch)
+        before = [block.copy() for block in stream._log_beta_blocks]
+        stream.result(refresh=True)
+        assert len(stream._log_beta_blocks) == len(before)
+        for kept, expected in zip(stream._log_beta_blocks, before):
+            np.testing.assert_array_equal(kept, expected)
+
+    @pytest.mark.parametrize("name", STREAMING_METHODS)
+    def test_rejected_batch_leaves_stream_untouched(self, name, binary_crowd):
+        stream = get_method(name, kind="streaming")
+        for batch in stream_crowd_in_batches(binary_crowd, [60, 60]):
+            stream.partial_fit(batch)
+        labels_before = stream.crowd.labels.copy()
+        posterior_before = stream.result().posterior.copy()
+        counters_before = (stream.updates, stream.observations_seen)
+        monitor_before = (
+            stream._monitor.iterations,
+            stream._monitor.last_change,
+            stream._monitor.converged,
+        )
+
+        wrong_classes = CrowdLabelMatrix(np.array([[2] + [MISSING] * 9]), 3)
+        wrong_annotators = CrowdLabelMatrix(np.array([[0, 1]]), 2)
+        for bad in (wrong_classes, wrong_annotators):
+            with pytest.raises(ValueError):
+                stream.partial_fit(bad)
+
+        assert (stream.updates, stream.observations_seen) == counters_before
+        assert (
+            stream._monitor.iterations,
+            stream._monitor.last_change,
+            stream._monitor.converged,
+        ) == monitor_before
+        np.testing.assert_array_equal(stream.crowd.labels, labels_before)
+        np.testing.assert_array_equal(stream.result().posterior, posterior_before)
+
+    @pytest.mark.parametrize("name", STREAMING_METHODS)
+    def test_state_roundtrip_resumes_bit_identically(self, name, binary_crowd):
+        params = {"em_iterations": 5, "gradient_steps": 5} if name == "GLAD" else {}
+        batches = stream_crowd_in_batches(binary_crowd, [30, 0, 50, 40])
+        reference = get_method(name, kind="streaming", **params)
+        for batch in batches:
+            reference.partial_fit(batch)
+
+        interrupted = get_method(name, kind="streaming", **params)
+        for batch in batches[:2]:
+            interrupted.partial_fit(batch)
+        state = interrupted.get_state()
+        restored = get_method(name, kind="streaming", **params)
+        restored.set_state(
+            state,
+            CrowdLabelMatrix(
+                interrupted.crowd.labels.copy(), interrupted.crowd.num_classes
+            ),
+        )
+        for batch in batches[2:]:
+            restored.partial_fit(batch)
+
+        assert restored.updates == reference.updates
+        assert restored.observations_seen == reference.observations_seen
+        np.testing.assert_array_equal(
+            restored.result().posterior, reference.result().posterior
+        )
+        np.testing.assert_array_equal(
+            restored.result(refresh=True).posterior,
+            reference.result(refresh=True).posterior,
+        )
+        if reference.result().confusions is not None:
+            np.testing.assert_array_equal(
+                restored.result().confusions, reference.result().confusions
+            )
+
+    @pytest.mark.parametrize("name", STREAMING_METHODS)
+    def test_state_roundtrip_before_any_batch(self, name):
+        state = get_method(name, kind="streaming").get_state()
+        restored = get_method(name, kind="streaming").set_state(state)
+        assert restored.updates == 0 and restored.crowd is None
+        with pytest.raises(RuntimeError):
+            restored.result()
+
+    def test_set_state_validates_method_decay_format_and_crowd(self, binary_crowd):
+        stream = StreamingDawidSkene()
+        stream.partial_fit(binary_crowd.subset(np.arange(40)))
+        state = stream.get_state()
+        with pytest.raises(ValueError, match="method"):
+            StreamingMajorityVote().set_state(state, stream.crowd)
+        with pytest.raises(ValueError, match="decay"):
+            StreamingDawidSkene(decay=0.5).set_state(state, stream.crowd)
+        with pytest.raises(ValueError, match="crowd"):
+            StreamingDawidSkene().set_state(state, None)
+        with pytest.raises(ValueError, match="format"):
+            StreamingDawidSkene().set_state(dict(state, format=99), stream.crowd)
+
+
 class TestStreamingGLAD:
     def test_learns_negative_ability_for_adversary(self):
         crowd = random_classification_crowd(

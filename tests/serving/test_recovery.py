@@ -1,0 +1,239 @@
+"""The recovery contract, pinned at the codec and the service level.
+
+A checkpoint taken mid-stream, written through the on-disk codec (the
+same ``state.npz`` + ``crowd.shard`` files a crashed service would read
+back), restored into a freshly constructed estimator, and replayed over
+the tail of the label stream must reproduce the uninterrupted stream:
+MV/DS sufficient statistics bit-exactly, everything end-to-end at
+atol 1e-10. The sweep runs every streaming method over the harness's
+randomized crowd cases; the service-level test adds eviction churn and a
+simulated crash (updates after the last checkpoint are lost and
+re-played from the durable cursor).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.streaming_suite import (
+    StreamScenarioConfig,
+    stream_crowd_in_batches,
+)
+from repro.inference import get_method
+from repro.serving import (
+    CrowdService,
+    build_serving_workload,
+    load_crowd,
+    load_stream_state,
+    save_crowd,
+    save_stream_state,
+)
+
+from ..inference.equivalence_harness import (
+    METHOD_OVERRIDES,
+    crowd_cases,
+    method_supports,
+    random_batch_sizes,
+    random_classification_crowd,
+)
+
+STREAMING_METHODS = ("MV", "DS", "GLAD")
+CASES = crowd_cases("classification")
+
+
+def _make_stream(name):
+    params = METHOD_OVERRIDES.get(("streaming", name), {})
+    return get_method(name, kind="streaming", **params)
+
+
+def _assert_states_match(actual: dict, expected: dict, exact: bool, context: str) -> None:
+    assert set(actual) == set(expected), context
+    for key, want in expected.items():
+        got = actual[key]
+        if want is None:
+            assert got is None, f"{context}: {key}"
+        elif isinstance(want, np.ndarray):
+            if exact:
+                np.testing.assert_array_equal(got, want, err_msg=f"{context}: {key}")
+            else:
+                np.testing.assert_allclose(
+                    got, want, atol=1e-10, rtol=0, err_msg=f"{context}: {key}"
+                )
+        else:
+            assert got == want, f"{context}: {key} ({got!r} != {want!r})"
+
+
+class TestCheckpointRestoreSweep:
+    """Estimator-level contract: every method x every harness crowd case."""
+
+    @pytest.mark.parametrize("case", CASES, ids=lambda case: case.name)
+    @pytest.mark.parametrize("name", STREAMING_METHODS)
+    def test_restore_plus_tail_replay_matches_uninterrupted(self, name, case, tmp_path):
+        crowd = case.build()
+        if not method_supports(name, "streaming", crowd):
+            pytest.skip(f"{name} does not support {case.name}")
+        batches = stream_crowd_in_batches(
+            crowd, random_batch_sizes(97, crowd.num_instances)
+        )
+
+        reference = _make_stream(name)
+        for batch in batches:
+            reference.partial_fit(batch)
+
+        interrupted = _make_stream(name)
+        cut = len(batches) // 2
+        for batch in batches[:cut]:
+            interrupted.partial_fit(batch)
+        save_stream_state(tmp_path / "state.npz", interrupted.get_state())
+        if interrupted.crowd is not None:
+            save_crowd(tmp_path / "crowd.shard", interrupted.crowd)
+        del interrupted  # crash: only the files survive
+
+        state = load_stream_state(tmp_path / "state.npz")
+        crowd_file = tmp_path / "crowd.shard"
+        retained = load_crowd(crowd_file) if crowd_file.is_file() else None
+        restored = _make_stream(name).set_state(state, retained)
+        assert restored.updates == cut
+        for batch in batches[restored.updates:]:
+            restored.partial_fit(batch)
+
+        context = f"method={name} case={case.name}"
+        # MV/DS statistics replay bit-exactly; GLAD is held to the
+        # end-to-end 1e-10 contract (in practice it is bit-exact too).
+        _assert_states_match(
+            restored.get_state(), reference.get_state(), name in ("MV", "DS"), context
+        )
+        expected = reference.result()
+        got = restored.result()
+        np.testing.assert_allclose(
+            got.posterior, expected.posterior, atol=1e-10, rtol=0, err_msg=context
+        )
+        if expected.confusions is not None:
+            np.testing.assert_allclose(
+                got.confusions, expected.confusions, atol=1e-10, rtol=0, err_msg=context
+            )
+        np.testing.assert_allclose(
+            restored.result(refresh=True).posterior,
+            reference.result(refresh=True).posterior,
+            atol=1e-10,
+            rtol=0,
+            err_msg=f"{context} (refresh)",
+        )
+
+
+class TestServiceRecovery:
+    """Service-level contract: crash + restart + tail replay, with eviction."""
+
+    def test_restart_with_tail_replay_matches_uninterrupted(self, tmp_path):
+        config = StreamScenarioConfig(
+            instances=60, annotators=8, batch_size=12, mean_labels_per_instance=3.0
+        )
+        workload = build_serving_workload(
+            seed=5, datasets=3, config=config, queries_per_update=0.5
+        )
+
+        with CrowdService(
+            tmp_path / "uninterrupted", method="DS", inner_sweeps=1
+        ) as reference:
+            for event in workload.events:
+                if event.kind == "update":
+                    reference.partial_fit(event.dataset_id, event.batch)
+                else:
+                    reference.query(event.dataset_id)
+            expected = {
+                dataset_id: reference.query(dataset_id)
+                for dataset_id in workload.datasets
+            }
+
+        # The crashing service also runs under eviction pressure, so the
+        # contract is exercised through checkpoint/rehydrate churn too.
+        crashed_root = tmp_path / "crashed"
+        service = CrowdService(crashed_root, method="DS", max_resident=2, inner_sweeps=1)
+        updates = [event for event in workload.events if event.kind == "update"]
+        cut = len(updates) // 2
+        for event in updates[:cut]:
+            service.partial_fit(event.dataset_id, event.batch)
+        durable = service.checkpoint()
+        for event in updates[cut : cut + len(updates) // 4]:
+            service.partial_fit(event.dataset_id, event.batch)
+        del service  # crash: everything after checkpoint() is lost
+
+        revived = CrowdService(crashed_root, method="DS", max_resident=2, inner_sweeps=1)
+        for dataset_id in revived.datasets():
+            # Evicted datasets were checkpointed on eviction, so their
+            # durable cursor may be ahead of the explicit checkpoint.
+            assert revived.cursor(dataset_id) >= durable[dataset_id]
+        for dataset_id in workload.datasets:
+            cursor = (
+                revived.cursor(dataset_id)
+                if dataset_id in revived.datasets()
+                else 0
+            )
+            for batch in workload.updates_for(dataset_id)[cursor:]:
+                revived.partial_fit(dataset_id, batch)
+        for dataset_id in workload.datasets:
+            got = revived.query(dataset_id)
+            np.testing.assert_array_equal(
+                got.posterior, expected[dataset_id].posterior, err_msg=dataset_id
+            )
+            np.testing.assert_array_equal(
+                got.confusions, expected[dataset_id].confusions, err_msg=dataset_id
+            )
+            assert got.extras["updates"] == expected[dataset_id].extras["updates"]
+
+
+class TestStateCodec:
+    """The npz state codec and the shard-backed crowd files."""
+
+    def test_state_round_trip_preserves_types_and_none(self, tmp_path):
+        state = {
+            "format": 1,
+            "method": "DS",
+            "decay": None,
+            "updates": 7,
+            "monitor_last_change": 0.25,
+            "monitor_converged": True,
+            "stat_prior": np.array([1.5, 2.5]),
+            "confusions": None,
+        }
+        save_stream_state(tmp_path / "state.npz", state)
+        loaded = load_stream_state(tmp_path / "state.npz")
+        assert set(loaded) == set(state)
+        assert loaded["decay"] is None and loaded["confusions"] is None
+        assert loaded["method"] == "DS"
+        assert loaded["updates"] == 7 and isinstance(loaded["updates"], int)
+        assert loaded["monitor_last_change"] == 0.25
+        assert loaded["monitor_converged"] is np.True_ or loaded["monitor_converged"]
+        np.testing.assert_array_equal(loaded["stat_prior"], state["stat_prior"])
+
+    def test_save_is_atomic_overwrite(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_stream_state(path, {"updates": 1})
+        save_stream_state(path, {"updates": 2})
+        assert load_stream_state(path)["updates"] == 2
+        assert not path.with_name("state.npz.tmp").exists()
+
+    def test_reserved_codec_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_stream_state(tmp_path / "state.npz", {"__none_keys__": 1})
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, values=np.arange(3))
+        with pytest.raises(ValueError, match="not a stream-state file"):
+            load_stream_state(path)
+
+    def test_crowd_round_trip_is_exact(self, tmp_path):
+        crowd = random_classification_crowd(
+            43, instances=50, annotators=9, classes=3, mean_labels=2.0
+        )
+        save_crowd(tmp_path / "crowd.shard", crowd)
+        restored = load_crowd(tmp_path / "crowd.shard")
+        np.testing.assert_array_equal(restored.labels, crowd.labels)
+        assert restored.num_classes == crowd.num_classes
+
+    def test_crowd_rejects_npz_suffix(self, tmp_path):
+        crowd = random_classification_crowd(
+            47, instances=5, annotators=3, classes=2, mean_labels=2.0
+        )
+        with pytest.raises(ValueError, match="npz"):
+            save_crowd(tmp_path / "crowd.npz", crowd)

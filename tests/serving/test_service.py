@@ -1,0 +1,237 @@
+"""CrowdService behavior: snapshots, eviction, restart discovery, validation.
+
+The recovery *contract* lives in ``test_recovery.py``; this module pins
+the serving semantics around it — queries see the last completed update
+(cached snapshots, no torn reads under a concurrent writer), LRU
+eviction respects the resident budget and rehydrates transparently, a
+restarted service discovers checkpointed datasets and resumes each under
+the configuration it was trained with, and bad inputs (path-unsafe ids,
+unknown datasets, incompatible batches) are rejected without touching
+state.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.crowd.types import MISSING, CrowdLabelMatrix
+from repro.experiments.streaming_suite import stream_crowd_in_batches
+from repro.inference import get_method
+from repro.serving import CrowdService
+
+from ..inference.equivalence_harness import random_classification_crowd
+
+
+@pytest.fixture
+def batches():
+    crowd = random_classification_crowd(
+        29, instances=90, annotators=8, classes=2, mean_labels=4.0
+    )
+    return stream_crowd_in_batches(crowd, [30, 30, 30])
+
+
+def _twin(batches, **overrides):
+    """Single-stream DS twin fed the same batches (the service's ground truth)."""
+    stream = get_method("DS", kind="streaming", **overrides)
+    for batch in batches:
+        stream.partial_fit(batch)
+    return stream
+
+
+class TestSnapshots:
+    def test_query_is_cached_between_updates(self, tmp_path, batches):
+        service = CrowdService(tmp_path, method="DS", inner_sweeps=1)
+        ack = service.partial_fit("ds", batches[0])
+        assert ack["updates"] == 1
+        first = service.query("ds")
+        assert service.query("ds") is first  # O(1) snapshot hit
+        service.partial_fit("ds", batches[1])
+        second = service.query("ds")
+        assert second is not first
+        assert second.posterior.shape[0] == 60
+        np.testing.assert_array_equal(
+            second.posterior, _twin(batches[:2], inner_sweeps=1).result().posterior
+        )
+
+    def test_refresh_recomputes_without_disturbing_snapshot(self, tmp_path, batches):
+        service = CrowdService(tmp_path, method="DS", inner_sweeps=1)
+        service.partial_fit("ds", batches[0])
+        service.partial_fit("ds", batches[1])
+        snapshot = service.query("ds")
+        refreshed = service.query("ds", refresh=True)
+        assert refreshed is not snapshot
+        # Refresh re-runs the E-step under the current annotator model, so
+        # it differs from the ingest-time posteriors the snapshot serves.
+        assert not np.array_equal(refreshed.posterior, snapshot.posterior)
+        assert service.query("ds") is snapshot  # cache survived the refresh
+        np.testing.assert_array_equal(
+            refreshed.posterior,
+            _twin(batches[:2], inner_sweeps=1).result(refresh=True).posterior,
+        )
+
+    def test_queries_never_see_torn_updates(self, tmp_path):
+        crowd = random_classification_crowd(
+            31, instances=200, annotators=6, classes=2, mean_labels=3.0
+        )
+        batches = stream_crowd_in_batches(crowd, [10] * 20)
+        service = CrowdService(tmp_path, method="DS", inner_sweeps=1)
+        service.partial_fit("hot", batches[0])
+
+        def writer():
+            for batch in batches[1:]:
+                service.partial_fit("hot", batch)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while thread.is_alive():
+                result = service.query("hot")
+                rows = result.posterior.shape[0]
+                # Every observable posterior is a completed update's: a
+                # whole number of 10-row batches, rows normalized.
+                assert rows % 10 == 0 and 10 <= rows <= 200
+                np.testing.assert_allclose(
+                    result.posterior.sum(axis=1), 1.0, atol=1e-8
+                )
+        finally:
+            thread.join()
+        np.testing.assert_array_equal(
+            service.query("hot").posterior,
+            _twin(batches, inner_sweeps=1).result().posterior,
+        )
+
+
+class TestEviction:
+    def test_lru_eviction_and_transparent_rehydration(self, tmp_path, batches):
+        service = CrowdService(tmp_path, method="DS", max_resident=2, inner_sweeps=1)
+        service.partial_fit("alpha", batches[0])
+        service.partial_fit("beta", batches[1])
+        service.partial_fit("gamma", batches[2])
+        # alpha was touched first -> evicted to disk when gamma arrived.
+        assert service.resident_datasets() == ("beta", "gamma")
+        assert (tmp_path / "alpha" / "state.npz").is_file()
+        assert (tmp_path / "alpha" / "crowd.shard").is_file()
+        assert service.stats["evictions"] == 1
+        assert service.cursor("alpha") == 1  # readable while cold
+
+        # Touching alpha rehydrates it and pushes out the new LRU (beta).
+        result = service.query("alpha")
+        assert service.resident_datasets() == ("alpha", "gamma")
+        assert service.stats["rehydrations"] == 1
+        assert service.stats["evictions"] == 2
+        np.testing.assert_array_equal(
+            result.posterior, _twin(batches[:1], inner_sweeps=1).result().posterior
+        )
+        np.testing.assert_array_equal(
+            result.confusions, _twin(batches[:1], inner_sweeps=1).result().confusions
+        )
+
+    def test_explicit_evict_round_trip(self, tmp_path, batches):
+        service = CrowdService(tmp_path, method="DS", inner_sweeps=1)
+        service.partial_fit("ds", batches[0])
+        before = service.query("ds")
+        assert service.evict("ds") is True
+        assert service.resident_datasets() == ()
+        assert service.evict("ds") is False  # already cold
+        after = service.query("ds")
+        np.testing.assert_array_equal(after.posterior, before.posterior)
+
+    def test_max_resident_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_resident"):
+            CrowdService(tmp_path, max_resident=0)
+
+
+class TestRestart:
+    def test_discovery_and_config_travel(self, tmp_path, batches):
+        with CrowdService(tmp_path, method="DS", inner_sweeps=1) as service:
+            service.partial_fit("ds-a", batches[0])
+            service.partial_fit("ds-a", batches[1])
+            service.partial_fit("ds-b", batches[2])
+        # close() checkpointed the dirty residents.
+        assert (tmp_path / "ds-a" / "state.npz").is_file()
+        assert (tmp_path / "ds-b" / "state.npz").is_file()
+
+        # The revived service has *different* defaults; each dataset must
+        # resume under the configuration stored in its checkpoint.
+        revived = CrowdService(tmp_path, method="MV")
+        assert revived.datasets() == ("ds-a", "ds-b")
+        assert revived.resident_datasets() == ()
+        assert revived.cursor("ds-a") == 2
+        assert revived.cursor("ds-b") == 1
+        result = revived.query("ds-a")
+        assert result.confusions is not None  # DS, not the MV default
+        np.testing.assert_array_equal(
+            result.posterior, _twin(batches[:2], inner_sweeps=1).result().posterior
+        )
+        # Feeding the tail continues under the checkpointed inner_sweeps=1.
+        revived.partial_fit("ds-a", batches[2])
+        np.testing.assert_array_equal(
+            revived.query("ds-a").posterior,
+            _twin(batches, inner_sweeps=1).result().posterior,
+        )
+
+    def test_create_dataset_overrides_service_method(self, tmp_path, batches):
+        with CrowdService(tmp_path, method="DS", inner_sweeps=1) as service:
+            service.create_dataset("votes", method="MV")
+            with pytest.raises(ValueError, match="already exists"):
+                service.create_dataset("votes")
+            service.partial_fit("votes", batches[0])
+            assert service.query("votes").confusions is None  # MV has none
+        revived = CrowdService(tmp_path, method="DS", inner_sweeps=1)
+        result = revived.query("votes")
+        assert result.confusions is None  # rehydrated as MV, not service DS
+        mv = get_method("MV", kind="streaming").partial_fit(batches[0])
+        np.testing.assert_array_equal(result.posterior, mv.result().posterior)
+
+    def test_checkpoint_skips_clean_datasets(self, tmp_path, batches):
+        service = CrowdService(tmp_path, method="DS", inner_sweeps=1)
+        service.partial_fit("ds", batches[0])
+        cursors = service.checkpoint()
+        assert cursors == {"ds": 1}
+        assert service.stats["checkpoints"] == 1
+        assert service.checkpoint() == {"ds": 1}  # clean: not rewritten
+        assert service.stats["checkpoints"] == 1
+        service.partial_fit("ds", batches[1])
+        assert service.checkpoint() == {"ds": 2}
+        assert service.stats["checkpoints"] == 2
+
+
+class TestValidation:
+    def test_unknown_dataset_raises(self, tmp_path):
+        service = CrowdService(tmp_path)
+        with pytest.raises(KeyError, match="unknown dataset"):
+            service.query("ghost")
+        with pytest.raises(KeyError, match="unknown dataset"):
+            service.cursor("ghost")
+        with pytest.raises(KeyError, match="unknown dataset"):
+            service.evict("ghost")
+        with pytest.raises(KeyError, match="unknown dataset"):
+            service.checkpoint("ghost")
+
+    @pytest.mark.parametrize(
+        "dataset_id", ["", "a/b", "../up", ".hidden", "sp ace"]
+    )
+    def test_path_unsafe_ids_rejected(self, tmp_path, batches, dataset_id):
+        service = CrowdService(tmp_path)
+        with pytest.raises(ValueError, match="path-safe"):
+            service.partial_fit(dataset_id, batches[0])
+        with pytest.raises(ValueError, match="path-safe"):
+            service.create_dataset(dataset_id)
+        assert service.datasets() == ()
+
+    def test_rejected_batch_leaves_dataset_untouched(self, tmp_path, batches):
+        service = CrowdService(tmp_path, method="DS", inner_sweeps=1)
+        service.partial_fit("ds", batches[0])
+        before = service.query("ds")
+        wrong_classes = CrowdLabelMatrix(
+            np.array([[2] + [MISSING] * 7], dtype=np.int64), 3
+        )
+        with pytest.raises(ValueError, match="classes"):
+            service.partial_fit("ds", wrong_classes)
+        assert service.cursor("ds") == 1
+        assert service.query("ds") is before  # snapshot still valid
+        np.testing.assert_array_equal(
+            service.query("ds", refresh=True).posterior,
+            _twin(batches[:1], inner_sweeps=1).result(refresh=True).posterior,
+        )
