@@ -1,0 +1,118 @@
+"""CLI: ``python -m repro.analysis [--baseline PATH | --no-baseline] [paths...]``.
+
+Default invocation (``python -m repro.analysis`` from the repo root, or
+explicitly ``... src tests``) lints the source and test trees against the
+committed ratchet at ``analysis/baseline.json`` and exits 0 iff the counts
+match it exactly — new findings fail with ``file:line`` locations, and
+*fewer* findings than baselined fail too, telling you to shrink the file
+(``--write-baseline``) so the fix can never silently regress.
+
+``--no-baseline`` prints every finding raw (exit 1 if any);
+``--write-baseline`` regenerates the ratchet from the current findings;
+``--list-rules`` prints the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .baseline import (
+    compare_to_baseline,
+    default_baseline_path,
+    load_baseline,
+    write_baseline,
+)
+from .engine import analyze_paths, available_rules, get_rule
+
+_DEFAULT_PATHS = ("src", "tests")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST contract lint for the repro codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(_DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repo root findings are keyed relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="ratchet file (default: <root>/analysis/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the ratchet; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the ratchet from the current findings and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in available_rules():
+            print(f"{rule_id:18s} {get_rule(rule_id).description}")
+        return 0
+
+    root = Path(args.root).resolve()
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path(root)
+    )
+    started = time.perf_counter()
+    findings = analyze_paths(args.paths, root=root)
+    elapsed = time.perf_counter() - started
+
+    if args.write_baseline:
+        counts = write_baseline(findings, baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(findings)} findings across "
+            f"{len(counts)} file/rule keys)"
+        )
+        return 0
+
+    if args.no_baseline:
+        for finding in findings:
+            print(finding)
+        print(
+            f"{len(findings)} finding(s) in {elapsed:.2f}s "
+            f"({len(available_rules())} rules)"
+        )
+        return 1 if findings else 0
+
+    baseline = load_baseline(baseline_path)
+    new, stale = compare_to_baseline(findings, baseline)
+    for finding in new:
+        print(finding)
+    if new:
+        print(
+            f"{len(new)} finding(s) over the baseline — fix them or waive "
+            "with `# lint: ok(rule-id)` on the offending line"
+        )
+    for key, (expected, actual) in stale.items():
+        print(
+            f"{key}: baseline records {expected} finding(s), now {actual} — "
+            "you fixed some! shrink the ratchet: python -m repro.analysis "
+            "--write-baseline"
+        )
+    if not new and not stale:
+        print(
+            f"clean: {len(findings)} baselined finding(s), 0 new, "
+            f"{elapsed:.2f}s"
+        )
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""The committed-baseline ratchet: tolerate the past, refuse regression.
+
+Rules arrive with pre-existing findings (``allclose-atol`` alone had 80+
+when the engine landed). Fixing everything in one PR is neither possible
+nor the point — the point is that the counts only ever go *down*. The
+baseline records, per ``file::rule_id`` key, how many findings existed
+when it was last written; the check then fails on **both** directions:
+
+* **more** findings than the baseline for a key (or a key the baseline
+  has never seen) — new violations, listed ``file:line``;
+* **fewer** findings than the baseline — congratulations, you fixed some;
+  shrink the baseline in the same commit (``--write-baseline``) so a
+  later regression of the same site fails instead of silently re-filling
+  the slack.
+
+Counts are keyed per file+rule rather than per line so unrelated edits
+shifting line numbers don't invalidate the baseline; the CLI prints the
+exact ``file:line`` locations whenever a key is over budget.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .engine import Finding
+
+__all__ = [
+    "baseline_key",
+    "summarize",
+    "load_baseline",
+    "write_baseline",
+    "compare_to_baseline",
+    "default_baseline_path",
+]
+
+_SEPARATOR = "::"
+
+
+def default_baseline_path(root: Path | str) -> Path:
+    """``<root>/analysis/baseline.json`` — the committed ratchet file."""
+    return Path(root) / "analysis" / "baseline.json"
+
+
+def baseline_key(finding: Finding) -> str:
+    return f"{finding.file}{_SEPARATOR}{finding.rule_id}"
+
+
+def summarize(findings: Iterable[Finding]) -> dict[str, int]:
+    """Current findings as sorted ``{file::rule_id: count}``."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = baseline_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    path = Path(path)
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    counts = data.get("findings", data) if isinstance(data, dict) else None
+    if not isinstance(counts, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and _SEPARATOR in k
+        for k, v in counts.items()
+    ):
+        raise ValueError(
+            f"baseline {path} is not a {{'file::rule_id': count}} mapping"
+        )
+    return dict(counts)
+
+
+def write_baseline(findings: Iterable[Finding], path: Path | str) -> dict[str, int]:
+    """Write the ratchet file for the current findings; returns the counts."""
+    counts = summarize(findings)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "_comment": (
+            "Contract-lint ratchet (repro.analysis). Counts per file::rule_id "
+            "may only shrink: fix findings, then regenerate with "
+            "`python -m repro.analysis --write-baseline`. Never hand-raise a "
+            "count - new findings belong fixed or `# lint: ok(rule-id)` waived."
+        ),
+        "findings": counts,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return counts
+
+
+def compare_to_baseline(
+    findings: Iterable[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], dict[str, tuple[int, int]]]:
+    """Split the ratchet verdict into (over-budget findings, stale keys).
+
+    Returns ``(new, stale)``: ``new`` lists every finding of a key whose
+    count exceeds the baseline (line-level attribution of *which* finding
+    is new is impossible with count keys, so the whole key is shown);
+    ``stale`` maps keys whose count fell below the baseline to
+    ``(baselined, current)`` — the caller must shrink the baseline. Empty
+    both ⇒ clean.
+    """
+    findings = list(findings)
+    counts = summarize(findings)
+    new: list[Finding] = []
+    for finding in findings:
+        key = baseline_key(finding)
+        if counts[key] > baseline.get(key, 0):
+            new.append(finding)
+    stale = {
+        key: (expected, counts.get(key, 0))
+        for key, expected in sorted(baseline.items())
+        if counts.get(key, 0) < expected
+    }
+    return sorted(new), stale

@@ -1,0 +1,38 @@
+"""The rule catalog: every mechanized contract, registered on import.
+
+Mirrors the built-in registration block at the bottom of
+:mod:`repro.inference.registry` — importing this package populates the
+engine's rule registry exactly once, and duplicate ids raise. Each rule
+module's docstring carries the contract's history (which PR paid for it);
+``tests/tooling/test_analysis.py`` holds the meta-test that refuses rules
+shipped without a known-bad and a known-good fixture.
+"""
+
+from __future__ import annotations
+
+from ..engine import register_rule
+from .broad_except import BroadExceptRule
+from .dtype_literals import DtypeLiteralRule
+from .lock_discipline import LockDisciplineRule
+from .optional_guard import OptionalGuardRule
+from .pickle_boundary import PickleBoundaryRule
+from .test_tolerance import AssertAllcloseAtolRule
+
+__all__ = [
+    "DtypeLiteralRule",
+    "OptionalGuardRule",
+    "LockDisciplineRule",
+    "PickleBoundaryRule",
+    "BroadExceptRule",
+    "AssertAllcloseAtolRule",
+]
+
+# ---------------------------------------------------------------------- #
+# Built-in registrations: the repo's contract catalog (S1-S5, T1).
+# ---------------------------------------------------------------------- #
+register_rule(DtypeLiteralRule())        # S1 · PR 7 precision policy
+register_rule(OptionalGuardRule())       # S2 · PR 4 truthiness-guard bugs
+register_rule(LockDisciplineRule())      # S3 · PR 8 snapshot contract
+register_rule(PickleBoundaryRule())      # S4 · PR 6 process-pool contract
+register_rule(BroadExceptRule())         # S5 · exception hygiene
+register_rule(AssertAllcloseAtolRule())  # T1 · explicit tolerance tiers

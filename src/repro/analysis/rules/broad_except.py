@@ -1,0 +1,70 @@
+"""S5 — ``broad-except``: catch-alls must say why they exist.
+
+A bare ``except:`` or ``except Exception:`` swallows everything —
+including the ``KeyboardInterrupt``-adjacent surprises and genuine bugs a
+narrow handler would surface. The repo has exactly two legitimate sites
+(the scipy fast-CSR capability probe in ``crowd/sharding.py`` and the
+process-pool warmup in ``inference/sharding.py``), and both are
+legitimate *because of a reason a reader needs to know*: the probe must
+degrade to the slow path on any scipy ABI surprise, and the warmup must
+never kill a worker that the first real task would diagnose better.
+
+Mechanization: a broad handler (bare ``except``, ``except Exception``,
+``except BaseException``, or a tuple containing either) is clean iff a
+comment appears on the ``except`` line itself or between it and the first
+statement of the handler body — i.e. the justification sits exactly where
+the next reader will look. ``# lint: ok(broad-except)`` suppressions
+don't count as justification (they go through the suppression machinery,
+which tracks staleness); write an actual reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, SourceFile
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD_NAMES
+    if isinstance(kind, ast.Tuple):
+        return any(isinstance(el, ast.Name) and el.id in _BROAD_NAMES for el in kind.elts)
+    return False
+
+
+class BroadExceptRule:
+    rule_id = "broad-except"
+    description = (
+        "bare/`except Exception` without a justifying comment on or "
+        "directly under the except line"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.rel.startswith("src/"):
+            return
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.ExceptHandler) and _is_broad(node)):
+                continue
+            first_stmt = node.body[0].lineno if node.body else node.lineno
+            if source.has_justifying_comment(node.lineno, first_stmt):
+                continue
+            label = "bare except" if node.type is None else "except Exception"
+            yield Finding(
+                file=source.rel,
+                line=node.lineno,
+                rule_id=self.rule_id,
+                message=(
+                    f"{label} without a justifying comment — say why "
+                    "swallowing everything is correct here, or narrow the "
+                    "exception type"
+                ),
+            )

@@ -1,0 +1,130 @@
+"""S3 — ``lock-discipline``: ``# guarded-by: <lock>`` attributes stay locked.
+
+The PR 8 snapshot contract: ``CrowdService`` is only torn-read-free while
+every touch of its shared registry state (``_entries``, ``_clock``,
+``stats``) happens under ``self._lock``. The test suite pins the observable
+symptom (a writer-thread test), but a new method reading ``self._entries``
+without the lock would pass every test and still race under load.
+
+Mechanization: an attribute assignment in ``__init__`` carrying a
+``# guarded-by: <lockname>`` trailing comment declares the attribute
+lock-protected. In every other method of that class, loads and stores of
+``self.<attr>`` must be lexically inside a ``with self.<lockname>:`` block
+— except in methods whose name ends in ``_locked`` (the documented
+convention for "caller holds the lock"; their *call sites* are inside
+locked regions) and in ``__init__`` itself (no concurrency before the
+constructor returns). The declaration is per class, so the rule works on
+any module that adopts the comment convention, not just the serving layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..engine import Finding, SourceFile
+
+__all__ = ["LockDisciplineRule"]
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_MARKER = "guarded-by"
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _declared_protected(init: ast.FunctionDef, source: SourceFile) -> dict[str, str]:
+    """``{attr: lock_attr}`` from guarded-by comments on __init__ assignments."""
+    protected: dict[str, str] = {}
+    for stmt in ast.walk(init):
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for lineno in range(stmt.lineno, stmt.end_lineno + 1):
+                comment = source.comment_on(lineno)
+                match = _GUARDED_BY_RE.search(comment) if comment else None
+                if match:
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            protected[attr] = match.group(1)
+                    break
+    return protected
+
+
+class LockDisciplineRule:
+    rule_id = "lock-discipline"
+    description = (
+        "access to a `# guarded-by:` attribute outside `with self.<lock>` "
+        "(and outside *_locked methods)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if _MARKER not in source.text:
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node, source)
+
+    def _check_class(self, cls: ast.ClassDef, source: SourceFile) -> Iterator[Finding]:
+        init = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        protected = _declared_protected(init, source)
+        if not protected:
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            yield from self._scan(method, protected, frozenset(), source, method.name)
+
+    def _scan(
+        self,
+        node: ast.AST,
+        protected: dict[str, str],
+        held: frozenset[str],
+        source: SourceFile,
+        method: str,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = {
+                attr
+                for item in node.items
+                if (attr := _self_attr(item.context_expr)) is not None
+            }
+            for item in node.items:
+                yield from self._scan(item, protected, held, source, method)
+            for stmt in node.body:
+                yield from self._scan(stmt, protected, held | acquired, source, method)
+            return
+        attr = _self_attr(node) if isinstance(node, ast.Attribute) else None
+        if attr is not None and attr in protected and protected[attr] not in held:
+            yield Finding(
+                file=source.rel,
+                line=node.lineno,
+                rule_id=self.rule_id,
+                message=(
+                    f"self.{attr} is guarded-by self.{protected[attr]} but "
+                    f"{method}() touches it outside `with self."
+                    f"{protected[attr]}:` (rename to *_locked if the caller "
+                    "holds the lock)"
+                ),
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(child, protected, held, source, method)

@@ -1,0 +1,149 @@
+"""S2 — ``optional-guard``: optional numerics are guarded ``is not None``.
+
+The PR 4 bug class: ``TrainerConfig.grad_clip: float | None`` and
+``lr_decay_every: int | None`` were guarded truthily (``if config.
+grad_clip:``), so the legal-looking ``grad_clip=0.0`` silently disabled
+clipping instead of clipping at 0 — falsy-but-set values conflate with
+None. The fix (and the contract since) is ``is not None`` everywhere an
+optional numeric or optional array decides a branch. Optional *strings*
+are exempt: ``entry.method or self.method`` is idiomatic and the empty
+string genuinely means "unset" there.
+
+Mechanization: a cross-file ``prepare`` pass collects every field name
+annotated optional-numeric/array (``float | None``, ``Optional[int]``,
+``np.ndarray | None``) in ``src/`` — dataclass fields and ``self.x:``
+annotations — because the annotation usually lives in a config module
+(``core/config.py``) while the guard lives in a consumer
+(``baselines/common.py``). Then, per file, any *truthiness context* whose
+test is a bare attribute with a collected name is flagged; bare local
+names are only matched against annotations from the same file, which
+keeps generic identifiers (``stop``, ``mask``) from cross-contaminating
+unrelated modules. Comparisons (``x is not None``, ``x > 0``) never flag
+— only the naked-name truthiness test does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..engine import Finding, SourceFile
+
+__all__ = ["OptionalGuardRule"]
+
+_NUMERIC_NAMES = frozenset({"float", "int"})
+_ARRAY_ATTRS = frozenset({"ndarray"})
+
+
+def _flatten_union(annotation: ast.expr) -> list[ast.expr]:
+    parts: list[ast.expr] = []
+
+    def walk(node: ast.expr) -> None:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            walk(node.left)
+            walk(node.right)
+        else:
+            parts.append(node)
+
+    walk(annotation)
+    return parts
+
+
+def _is_optional_numeric(annotation: ast.expr | None) -> bool:
+    """``X | None`` / ``Optional[X]`` with every X numeric or an ndarray."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        parts = _flatten_union(annotation)
+        nones = [p for p in parts if isinstance(p, ast.Constant) and p.value is None]
+        others = [p for p in parts if not (isinstance(p, ast.Constant) and p.value is None)]
+        return bool(nones) and bool(others) and all(_is_numericish(p) for p in others)
+    if (
+        isinstance(annotation, ast.Subscript)
+        and isinstance(annotation.value, ast.Name)
+        and annotation.value.id == "Optional"
+    ):
+        return _is_numericish(annotation.slice)
+    return False
+
+
+def _is_numericish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _NUMERIC_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _ARRAY_ATTRS
+    return False
+
+
+def _annotated_names(tree: ast.AST) -> tuple[set[str], set[str]]:
+    """(field/attr names, bare local names) annotated optional-numeric."""
+    fields: set[str] = set()
+    locals_: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and _is_optional_numeric(node.annotation):
+            target = node.target
+            if isinstance(target, ast.Name):
+                # class-body AnnAssign is a (dataclass) field; either way
+                # the bare name is also guarded in this file's scope.
+                fields.add(target.id)
+                locals_.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                fields.add(target.attr)
+        elif isinstance(node, ast.arg) and _is_optional_numeric(node.annotation):
+            locals_.add(node.arg)
+    return fields, locals_
+
+
+def _truthiness_tests(tree: ast.AST) -> Iterator[ast.expr]:
+    """Every expression evaluated for truth: if/while/ternary/bool-ops/not."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            yield node.test
+        elif isinstance(node, ast.BoolOp):
+            yield from node.values
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            yield node.operand
+        elif isinstance(node, ast.Assert):
+            yield node.test
+        elif isinstance(node, ast.comprehension):
+            yield from node.ifs
+
+
+class OptionalGuardRule:
+    rule_id = "optional-guard"
+    description = (
+        "truthiness branch on an optional numeric/array field "
+        "(conflates 0/0.0 with None) — use `is not None`"
+    )
+
+    def __init__(self) -> None:
+        self._fields: frozenset[str] = frozenset()
+
+    def prepare(self, sources: Iterable[SourceFile]) -> None:
+        fields: set[str] = set()
+        for source in sources:
+            if source.rel.startswith("src/"):
+                fields |= _annotated_names(source.tree)[0]
+        self._fields = frozenset(fields)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.rel.startswith("src/"):
+            return
+        _, local_names = _annotated_names(source.tree)
+        for test in _truthiness_tests(source.tree):
+            name = None
+            if isinstance(test, ast.Attribute) and test.attr in self._fields:
+                name = test.attr
+            elif isinstance(test, ast.Name) and test.id in local_names:
+                name = test.id
+            if name is not None:
+                yield Finding(
+                    file=source.rel,
+                    line=test.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"truthiness test on optional numeric {name!r} treats "
+                        "0/0.0 as unset (the PR 4 grad_clip/lr_decay_every bug "
+                        "class); guard with `is not None`"
+                    ),
+                )

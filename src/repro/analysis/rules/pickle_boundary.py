@@ -1,0 +1,119 @@
+"""S4 — ``pickle-boundary``: executor tasks must pickle by name.
+
+The PR 6 contract: the sharded map runs one code path across serial,
+thread-pool, and process-pool execution, which only works because every
+callable crossing the executor boundary — mappers, the task functions in
+``inference/sharding.py``, the ``ProcessPoolExecutor`` initializer —
+pickles *by name*: module-level functions and bound methods do, lambdas
+and closures raise ``PicklingError`` the first time someone passes
+``workers=N``. Thread pools mask the bug (nothing is pickled), so a
+lambda handed to ``executor.submit`` works in every test that uses
+threads and dies in production with processes.
+
+Mechanization: at every ``<obj>.submit(fn, ...)`` call site and every
+``...Executor(initializer=...)`` construction, the callable expression
+must not be a ``lambda`` and must not be a name bound to a function (or
+lambda) defined inside an enclosing function — both are detectable
+syntactically. ``functools.partial(...)`` is unwrapped and its first
+argument held to the same standard (partials of module-level functions
+pickle fine; partials of closures don't). Names the rule cannot resolve
+(parameters, attributes, imports) pass — the rule catches the regression
+class, not every conceivable smuggling route.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, SourceFile
+
+__all__ = ["PickleBoundaryRule"]
+
+
+class PickleBoundaryRule:
+    rule_id = "pickle-boundary"
+    description = (
+        "lambda/closure handed to an executor (won't pickle by name for "
+        "process pools — use a module-level function or bound method)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not source.rel.startswith("src/"):
+            return
+        # Scope stack: one set of locally-defined callable names per
+        # enclosing function. Module-level defs live in no set and pass.
+        yield from self._visit(source.tree, [], source)
+
+    def _visit(
+        self, node: ast.AST, scopes: list[set[str]], source: SourceFile
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if scopes:  # a def nested in a function binds a closure name
+                scopes[-1].add(node.name)
+            scopes.append(set())
+            for child in ast.iter_child_nodes(node):
+                yield from self._visit(child, scopes, source)
+            scopes.pop()
+            return
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda) and scopes:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    scopes[-1].add(target.id)
+        if isinstance(node, ast.Call):
+            yield from self._check_call(node, scopes, source)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(child, scopes, source)
+
+    def _check_call(
+        self, call: ast.Call, scopes: list[set[str]], source: SourceFile
+    ) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "submit" and call.args:
+            yield from self._check_callable(call.args[0], scopes, source, "submit()")
+        constructor = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if constructor.endswith("Executor"):
+            for keyword in call.keywords:
+                if keyword.arg == "initializer":
+                    yield from self._check_callable(
+                        keyword.value, scopes, source, f"{constructor}(initializer=)"
+                    )
+
+    def _check_callable(
+        self, expr: ast.expr, scopes: list[set[str]], source: SourceFile, site: str
+    ) -> Iterator[Finding]:
+        if isinstance(expr, ast.Lambda):
+            yield self._finding(expr, source, site, "a lambda")
+            return
+        if isinstance(expr, ast.Call):
+            inner = expr.func
+            inner_name = (
+                inner.id
+                if isinstance(inner, ast.Name)
+                else inner.attr if isinstance(inner, ast.Attribute) else ""
+            )
+            if inner_name == "partial" and expr.args:
+                yield from self._check_callable(expr.args[0], scopes, source, site)
+            return
+        if isinstance(expr, ast.Name) and any(expr.id in scope for scope in scopes):
+            yield self._finding(
+                expr, source, site, f"{expr.id!r}, a function defined in an enclosing function"
+            )
+
+    def _finding(
+        self, node: ast.AST, source: SourceFile, site: str, what: str
+    ) -> Finding:
+        return Finding(
+            file=source.rel,
+            line=node.lineno,
+            rule_id=self.rule_id,
+            message=(
+                f"{site} receives {what}; executor callables must pickle by "
+                "name (module-level function or bound method) so process "
+                "pools work — the PR 6 sharding contract"
+            ),
+        )

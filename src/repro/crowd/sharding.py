@@ -116,6 +116,9 @@ def _fast_csr(data, indices, indptr, shape):
             )
             _FAST_CSR_STATE["ok"] = bool(ok)
         except Exception:
+            # Capability probe: any scipy surprise (missing, ABI change,
+            # internals moved) must degrade to the validated-constructor
+            # slow path, never crash the import or the caller.
             _FAST_CSR_STATE["ok"] = False
     if _FAST_CSR_STATE["ok"]:
         return bypass(data, indices, indptr, shape)

@@ -111,10 +111,13 @@ class CrowdService:
         self.method = method
         self.method_overrides = dict(method_overrides)
         self.max_resident = max_resident
-        self._lock = threading.Lock()  # registry dict, LRU clock, stats
-        self._entries: dict[str, _DatasetEntry] = {}
-        self._clock = itertools.count(1)
-        self.stats = {"evictions": 0, "rehydrations": 0, "checkpoints": 0}
+        # The snapshot contract (see class docs) holds only while every
+        # touch of the registry/LRU state stays under _lock; the
+        # guarded-by markers are enforced by the lock-discipline lint.
+        self._lock = threading.Lock()
+        self._entries: dict[str, _DatasetEntry] = {}  # guarded-by: _lock
+        self._clock = itertools.count(1)              # guarded-by: _lock
+        self.stats = {"evictions": 0, "rehydrations": 0, "checkpoints": 0}  # guarded-by: _lock
         for child in sorted(self.root.iterdir()):
             if (child / _STATE_FILE).is_file() and _DATASET_ID.match(child.name):
                 self._entries[child.name] = _DatasetEntry(child.name, None, {})

@@ -62,6 +62,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.autodiff.dtypes import equivalence_atol
 from repro.crowd.sharding import save_shard_handles
 from repro.crowd.types import MISSING, CrowdLabelMatrix, SequenceCrowdLabels
 from repro.experiments.streaming_suite import stream_crowd_in_batches
@@ -341,7 +342,9 @@ def _assert_posteriors_close(result, expected, kind: str, atol: float, context: 
             )
 
 
-def assert_matches_reference(name: str, kind: str, crowd, atol: float = 1e-10) -> None:
+def assert_matches_reference(
+    name: str, kind: str, crowd, atol: float = equivalence_atol("float64")
+) -> None:
     """Pin the registered method to its reference on one crowd.
 
     Compares posterior(s), confusion matrices when both sides model them,
@@ -473,7 +476,7 @@ SHARD_LAYOUTS: dict[str, Callable] = {
 
 
 def assert_sharded_matches_batch(
-    name: str, crowd, make_source: Callable, atol: float = 1e-10,
+    name: str, crowd, make_source: Callable, atol: float = equivalence_atol("float64"),
     executor=None, workers: int | None = None,
 ) -> None:
     """Pin one sharded method to its batch twin on one crowd and layout.

@@ -11,6 +11,7 @@ convergence, not the previous sweep's.
 import numpy as np
 import pytest
 
+from repro.autodiff.dtypes import equivalence_atol
 from repro.crowd import (
     sample_annotator_pool,
     sample_ner_pool,
@@ -45,7 +46,7 @@ def ner_crowd(seed, sentences=50, annotators=8, mean=4.0):
     return simulate_ner_crowd(rng, task.train.tags, sample_ner_pool(rng, annotators), mean)
 
 
-def assert_sequence_results_close(result, reference, atol=1e-10):
+def assert_sequence_results_close(result, reference, atol=equivalence_atol("float64")):
     assert len(result.posteriors) == len(reference.posteriors)
     for new, old in zip(result.posteriors, reference.posteriors):
         np.testing.assert_allclose(new, old, atol=atol, rtol=0)
@@ -61,8 +62,9 @@ def test_dawid_skene_matches_reference(seed):
     crowd = classification_crowd(seed)
     result = DawidSkene().infer(crowd)
     reference = dawid_skene_reference(crowd)
-    np.testing.assert_allclose(result.posterior, reference.posterior, atol=1e-10, rtol=0)
-    np.testing.assert_allclose(result.confusions, reference.confusions, atol=1e-10, rtol=0)
+    atol = equivalence_atol("float64")
+    np.testing.assert_allclose(result.posterior, reference.posterior, atol=atol, rtol=0)
+    np.testing.assert_allclose(result.confusions, reference.confusions, atol=atol, rtol=0)
     assert result.extras["iterations"] == reference.extras["iterations"]
 
 
@@ -71,8 +73,9 @@ def test_ibcc_matches_reference(seed):
     crowd = classification_crowd(seed, annotators=25, mean=3.0)
     result = IBCC().infer(crowd)
     reference = ibcc_reference(crowd)
-    np.testing.assert_allclose(result.posterior, reference.posterior, atol=1e-10, rtol=0)
-    np.testing.assert_allclose(result.confusions, reference.confusions, atol=1e-10, rtol=0)
+    atol = equivalence_atol("float64")
+    np.testing.assert_allclose(result.posterior, reference.posterior, atol=atol, rtol=0)
+    np.testing.assert_allclose(result.confusions, reference.confusions, atol=atol, rtol=0)
     assert result.extras["iterations"] == reference.extras["iterations"]
 
 
