@@ -8,13 +8,20 @@ match it exactly — new findings fail with ``file:line`` locations, and
 (``--write-baseline``) so the fix can never silently regress.
 
 ``--no-baseline`` prints every finding raw (exit 1 if any);
-``--write-baseline`` regenerates the ratchet from the current findings;
-``--list-rules`` prints the catalog.
+``--write-baseline`` regenerates the ratchet from the current findings —
+but refuses non-default path arguments unless ``--force``: a ratchet
+written from a subtree's findings would make the next full run fail on
+everything else as "new". ``--format json`` emits findings, per-rule
+counts, and elapsed seconds as one machine-readable object for CI
+artifacts; ``--profile`` appends per-rule wall time (the shared dataflow
+fixpoints are charged to whichever rule touches a file's flow facts
+first). ``--list-rules`` prints the catalog.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -28,6 +35,40 @@ from .baseline import (
 from .engine import analyze_paths, available_rules, get_rule
 
 _DEFAULT_PATHS = ("src", "tests")
+
+
+def _as_json(findings, elapsed: float, timings: dict[str, float] | None) -> str:
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    payload = {
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "rule_id": f.rule_id,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "counts_by_rule": dict(sorted(by_rule.items())),
+        "total": len(findings),
+        "elapsed_seconds": round(elapsed, 3),
+    }
+    if timings is not None:
+        payload["rule_seconds"] = {
+            rule_id: round(seconds, 4)
+            for rule_id, seconds in sorted(
+                timings.items(), key=lambda item: -item[1]
+            )
+        }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _print_profile(timings: dict[str, float]) -> None:
+    print("per-rule wall time (shared flow fixpoints charged to first taker):")
+    for rule_id, seconds in sorted(timings.items(), key=lambda item: -item[1]):
+        print(f"  {rule_id:20s} {seconds * 1000.0:8.1f} ms")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,6 +97,19 @@ def main(argv: list[str] | None = None) -> int:
         help="regenerate the ratchet from the current findings and exit",
     )
     parser.add_argument(
+        "--force", action="store_true",
+        help="allow --write-baseline with non-default paths (a subtree "
+        "ratchet makes the next full run fail on everything else)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json: findings + per-rule counts + elapsed)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="report per-rule wall time",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog"
     )
     args = parser.parse_args(argv)
@@ -65,12 +119,27 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule_id:18s} {get_rule(rule_id).description}")
         return 0
 
+    if args.write_baseline and not args.force:
+        if sorted(args.paths) != sorted(_DEFAULT_PATHS):
+            print(
+                "refusing --write-baseline with non-default paths "
+                f"({' '.join(args.paths)}): the ratchet would hold only that "
+                "subtree's findings and the next full run would fail on "
+                "everything else as new. Re-run without paths, or pass "
+                "--force if you really mean it.",
+                file=sys.stderr,
+            )
+            return 2
+
     root = Path(args.root).resolve()
     baseline_path = (
         Path(args.baseline) if args.baseline else default_baseline_path(root)
     )
+    timings: dict[str, float] | None = (
+        {} if (args.profile or args.format == "json") else None
+    )
     started = time.perf_counter()
-    findings = analyze_paths(args.paths, root=root)
+    findings = analyze_paths(args.paths, root=root, timings=timings)
     elapsed = time.perf_counter() - started
 
     if args.write_baseline:
@@ -82,16 +151,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.no_baseline:
-        for finding in findings:
-            print(finding)
-        print(
-            f"{len(findings)} finding(s) in {elapsed:.2f}s "
-            f"({len(available_rules())} rules)"
-        )
+        if args.format == "json":
+            print(_as_json(findings, elapsed, timings if args.profile else None))
+        else:
+            for finding in findings:
+                print(finding)
+            print(
+                f"{len(findings)} finding(s) in {elapsed:.2f}s "
+                f"({len(available_rules())} rules)"
+            )
+            if args.profile and timings is not None:
+                _print_profile(timings)
         return 1 if findings else 0
 
     baseline = load_baseline(baseline_path)
     new, stale = compare_to_baseline(findings, baseline)
+    if args.format == "json":
+        print(_as_json(new, elapsed, timings if args.profile else None))
+        return 1 if (new or stale) else 0
     for finding in new:
         print(finding)
     if new:
@@ -110,7 +187,11 @@ def main(argv: list[str] | None = None) -> int:
             f"clean: {len(findings)} baselined finding(s), 0 new, "
             f"{elapsed:.2f}s"
         )
+        if args.profile and timings is not None:
+            _print_profile(timings)
         return 0
+    if args.profile and timings is not None:
+        _print_profile(timings)
     return 1
 
 

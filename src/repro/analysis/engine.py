@@ -31,10 +31,14 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from .flow import FileFlow
 
 __all__ = [
     "Finding",
@@ -98,6 +102,7 @@ class SourceFile:
                     self.comments[token.start[0]] = token.string
         except tokenize.TokenError:
             pass  # ast.parse accepted the file; comments stay best-effort
+        self._flow: "FileFlow | None" = None
         self.suppressions: dict[int, set[str]] = {}
         for lineno, comment in self.comments.items():
             match = _SUPPRESSION_RE.search(comment)
@@ -119,6 +124,19 @@ class SourceFile:
     def from_source(cls, text: str, rel: str = "src/repro/_fixture.py") -> "SourceFile":
         """Build from a source string at a virtual path (rule fixtures)."""
         return cls(rel, text)
+
+    def flow(self) -> "FileFlow":
+        """Per-function dataflow facts (CFGs, borrow/publish taint,
+        optional-checkedness), computed lazily on first request and cached
+        — so the fixpoints run once per file no matter how many rules
+        consume them, the same single-parse economics as the AST itself.
+        """
+        cached = self._flow
+        if cached is None:
+            from .flow import build_file_flow  # deferred: flow imports us
+
+            cached = self._flow = build_file_flow(self)
+        return cached
 
     def comment_on(self, lineno: int) -> str | None:
         return self.comments.get(lineno)
@@ -210,7 +228,9 @@ def collect_files(paths: Iterable[Path | str], root: Path) -> list[Path]:
 
 
 def analyze_sources(
-    sources: Iterable[SourceFile], rules: Iterable[Rule] | None = None
+    sources: Iterable[SourceFile],
+    rules: Iterable[Rule] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> list[Finding]:
     """Run ``rules`` (default: the full registry) over parsed sources.
 
@@ -218,20 +238,36 @@ def analyze_sources(
     findings' lines consume them, and leftover suppressions for *active*
     rules — plus suppressions naming rule ids the registry has never heard
     of — come back as :data:`UNUSED_SUPPRESSION_ID` findings.
+
+    Pass a dict as ``timings`` to accumulate per-rule wall time (seconds,
+    summed across ``prepare`` and every ``check``) — the CLI's
+    ``--profile`` view. Note the shared flow-fact fixpoints are charged to
+    whichever rule touches a file's :meth:`SourceFile.flow` first.
     """
     sources = list(sources)
     rules = registered_rules() if rules is None else list(rules)
     active_ids = {rule.rule_id for rule in rules}
+
+    def charge(rule_id: str, started: float) -> None:
+        if timings is not None:
+            timings[rule_id] = timings.get(rule_id, 0.0) + (
+                time.perf_counter() - started
+            )
+
     for rule in rules:
         prepare = getattr(rule, "prepare", None)
         if prepare is not None:
+            started = time.perf_counter()
             prepare(sources)
+            charge(rule.rule_id, started)
 
     findings: list[Finding] = []
     for source in sources:
         raw: list[Finding] = []
         for rule in rules:
+            started = time.perf_counter()
             raw.extend(rule.check(source))
+            charge(rule.rule_id, started)
         used: set[tuple[int, str]] = set()
         for finding in raw:
             if finding.rule_id in source.suppressions.get(finding.line, ()):
@@ -263,6 +299,7 @@ def analyze_paths(
     paths: Iterable[Path | str],
     root: Path | str,
     rules: Iterable[Rule] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> list[Finding]:
     """Parse every ``*.py`` under ``paths`` once and run the rules.
 
@@ -289,4 +326,4 @@ def analyze_paths(
                     message=f"file does not parse: {exc.msg}",
                 )
             )
-    return sorted(analyze_sources(sources, rules) + broken)
+    return sorted(analyze_sources(sources, rules, timings=timings) + broken)

@@ -1,0 +1,360 @@
+"""Per-function control-flow graphs over the single-parse AST.
+
+Granularity and shape
+---------------------
+
+Nodes are **individual statements and test expressions**, not merged
+basic blocks — rules anchor findings to lines, and the hand-drawn graphs
+in the test suite compare edge sets by line number, so there is nothing
+to gain from block merging at this scale. Node kinds:
+
+* ``entry`` / ``exit`` — one each per function; every ``return`` and
+  uncaught ``raise`` edges to ``exit``;
+* ``stmt`` — one simple statement (assignment, expression, ``with``
+  binding, ``for`` header, except-handler binding, ...);
+* ``test`` — one *atomic* condition evaluated for truth, with out-edges
+  labeled ``True`` and ``False``. Compound tests are decomposed:
+  ``if a and b:`` builds a chain ``test(a) --True--> test(b)`` with both
+  false edges joining the else target, so **boolean short-circuit is a
+  property of the graph** — an analysis refining facts along labeled
+  edges sees ``b`` evaluated only where ``a`` already held, with no
+  special-casing of ``BoolOp``. ``not`` swaps the labels; ``while`` and
+  ``assert`` tests decompose the same way (an assert's false edge is a
+  raise edge);
+* ``join`` — the synthetic entry of a ``finally`` body (a pure merge
+  point; transfer functions treat it as identity).
+
+Edge labels: ``True``/``False`` out of ``test`` nodes, ``"exc"`` for
+exception edges, ``None`` for plain fall-through.
+
+Exception and ``finally`` modeling
+----------------------------------
+
+Every node built inside a ``try`` body grows an ``"exc"`` edge to the
+entry of each handler of the *nearest* enclosing ``try`` that has
+handlers (any statement may raise), and handlers fall through to the
+``try``'s continuation. A ``finally`` body is built once; normal
+completion routes through it, and abrupt jumps (``return`` /
+``continue`` / ``raise``) that cross it are routed *into* it, with the
+finally's exit edging to the union of every pending jump target.
+``break`` keeps its direct edge to the loop's after-frontier alongside
+the finally detour. Both choices merge paths a real interpreter keeps
+separate — a deliberate imprecision that only **adds** edges, which is
+the sound direction for both fact layers built on top: extra paths mean
+extra joins for the may-analyses (taint never missed) and extra
+intersections for the must-analyses (checkedness never invented).
+
+Nested function and class definitions are single ``stmt`` nodes (they
+bind a name; their bodies get their own CFGs via
+:func:`iter_functions`). Comprehension internals are likewise opaque at
+graph level — :mod:`~repro.analysis.flow.facts` scans them
+expression-locally instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["CFG", "CFGNode", "Edge", "EXC", "build_cfg", "iter_functions"]
+
+EXC = "exc"
+
+_TRY_TYPES = (ast.Try, ast.TryStar) if hasattr(ast, "TryStar") else (ast.Try,)
+
+
+@dataclass(frozen=True)
+class CFGNode:
+    """One graph node: ``entry``/``exit``/``stmt``/``test``/``join``."""
+
+    index: int
+    kind: str
+    node: ast.AST | None = None
+
+    @property
+    def lineno(self) -> int | None:
+        return getattr(self.node, "lineno", None)
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    label: object = None  # True | False | "exc" | None
+
+
+@dataclass
+class CFG:
+    """The graph: nodes plus successor/predecessor adjacency."""
+
+    func: ast.AST
+    nodes: list[CFGNode] = field(default_factory=list)
+    succ: dict[int, list[Edge]] = field(default_factory=dict)
+    pred: dict[int, list[Edge]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 1
+
+    def add_node(self, kind: str, node: ast.AST | None = None) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index, kind, node))
+        self.succ[index] = []
+        self.pred[index] = []
+        return index
+
+    def add_edge(self, src: int, dst: int, label: object = None) -> None:
+        for existing in self.succ[src]:
+            if existing.dst == dst and existing.label == label:
+                return
+        edge = Edge(src, dst, label)
+        self.succ[src].append(edge)
+        self.pred[dst].append(edge)
+
+    def edge_set(self) -> set[tuple[object, object, object]]:
+        """``{(src_desc, dst_desc, label)}`` with nodes described by line
+        number (``entry``/``exit`` by name) — the hand-drawn-graph test
+        representation. Distinct nodes sharing a line collapse to the
+        same description, which is exactly the granularity the tests
+        draw at."""
+
+        def describe(index: int) -> object:
+            node = self.nodes[index]
+            if node.kind in ("entry", "exit"):
+                return node.kind
+            return node.lineno
+
+        return {
+            (describe(edge.src), describe(edge.dst), edge.label)
+            for edges in self.succ.values()
+            for edge in edges
+        }
+
+
+# A frontier is the set of dangling out-edges still waiting for their
+# destination: (node index, edge label) pairs.
+Frontier = list[tuple[int, object]]
+
+
+class _LoopCtx:
+    __slots__ = ("head", "breaks")
+
+    def __init__(self, head: int) -> None:
+        self.head = head
+        self.breaks: Frontier = []
+
+
+class _TryCtx:
+    """Context while building a try body: where raises go, and which
+    ``finally`` an abrupt jump must route through."""
+
+    __slots__ = ("handler_entries", "finally_entry", "pending_targets")
+
+    def __init__(self) -> None:
+        self.handler_entries: list[int] = []
+        self.finally_entry: int | None = None
+        self.pending_targets: set[int] = set()
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = CFG(func)
+        self.cfg.entry = self.cfg.add_node("entry")
+        self.cfg.exit = self.cfg.add_node("exit")
+        self.loops: list[_LoopCtx] = []
+        self.tries: list[_TryCtx] = []
+
+    # -- plumbing ------------------------------------------------------- #
+    def connect(self, frontier: Frontier, dst: int) -> None:
+        for src, label in frontier:
+            self.cfg.add_edge(src, dst, label)
+
+    def new_node(self, kind: str, node: ast.AST, frontier: Frontier) -> int:
+        index = self.cfg.add_node(kind, node)
+        self.connect(frontier, index)
+        self._exc_edges(index)
+        return index
+
+    def _exc_edges(self, index: int) -> None:
+        """Any statement inside a try body may raise into its handlers."""
+        for ctx in reversed(self.tries):
+            if ctx.handler_entries:
+                for handler in ctx.handler_entries:
+                    self.cfg.add_edge(index, handler, EXC)
+                return  # nearest handlers catch; outer tries only see
+                # what their own handler statements re-raise
+
+    def _abrupt(self, index: int, target: int) -> None:
+        """Route an abrupt jump to ``target``, diverting through the
+        innermost pending ``finally`` if one exists."""
+        for ctx in reversed(self.tries):
+            if ctx.finally_entry is not None:
+                self.cfg.add_edge(index, ctx.finally_entry)
+                ctx.pending_targets.add(target)
+                return
+        self.cfg.add_edge(index, target)
+
+    # -- condition decomposition ---------------------------------------- #
+    def build_test(self, expr: ast.expr, frontier: Frontier) -> tuple[Frontier, Frontier]:
+        """Decompose ``expr`` into a chain of atomic test nodes.
+
+        Returns ``(true_frontier, false_frontier)`` — the dangling edges
+        taken when the whole expression is truthy / falsy.
+        """
+        if isinstance(expr, ast.BoolOp):
+            if isinstance(expr.op, ast.And):
+                false_out: Frontier = []
+                current = frontier
+                for value in expr.values:
+                    true_f, false_f = self.build_test(value, current)
+                    false_out.extend(false_f)
+                    current = true_f
+                return current, false_out
+            true_out: Frontier = []
+            current = frontier
+            for value in expr.values:
+                true_f, false_f = self.build_test(value, current)
+                true_out.extend(true_f)
+                current = false_f
+            return true_out, current
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+            true_f, false_f = self.build_test(expr.operand, frontier)
+            return false_f, true_f
+        index = self.new_node("test", expr, frontier)
+        return [(index, True)], [(index, False)]
+
+    # -- statement dispatch --------------------------------------------- #
+    def build_body(self, stmts: list[ast.stmt], frontier: Frontier) -> Frontier:
+        for stmt in stmts:
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    def build_stmt(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.If):
+            true_f, false_f = self.build_test(stmt.test, frontier)
+            after = self.build_body(stmt.body, true_f)
+            if stmt.orelse:
+                after = after + self.build_body(stmt.orelse, false_f)
+            else:
+                after = after + false_f
+            return after
+        if isinstance(stmt, ast.While):
+            true_f, false_f = self.build_test(stmt.test, frontier)
+            head = self._chain_entry(true_f, false_f)
+            ctx = _LoopCtx(head)
+            self.loops.append(ctx)
+            body_end = self.build_body(stmt.body, true_f)
+            self.loops.pop()
+            self.connect(body_end, head)
+            after = self.build_body(stmt.orelse, false_f) if stmt.orelse else false_f
+            return after + ctx.breaks
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # The for header is one node: evaluate the iterable, bind the
+            # target. True = another item (enter body), False = exhausted.
+            head = self.new_node("stmt", stmt, frontier)
+            ctx = _LoopCtx(head)
+            self.loops.append(ctx)
+            body_end = self.build_body(stmt.body, [(head, True)])
+            self.loops.pop()
+            self.connect(body_end, head)
+            exhausted: Frontier = [(head, False)]
+            after = self.build_body(stmt.orelse, exhausted) if stmt.orelse else exhausted
+            return after + ctx.breaks
+        if isinstance(stmt, _TRY_TYPES):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            index = self.new_node("stmt", stmt, frontier)
+            return self.build_body(stmt.body, [(index, None)])
+        if isinstance(stmt, ast.Return):
+            index = self.new_node("stmt", stmt, frontier)
+            self._abrupt(index, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            index = self.new_node("stmt", stmt, frontier)
+            if self.loops:
+                # Direct edge to the loop's after-frontier; if a finally
+                # intervenes, the detour edge exists alongside (see module
+                # docs on the both-paths approximation).
+                for tctx in reversed(self.tries):
+                    if tctx.finally_entry is not None:
+                        self.cfg.add_edge(index, tctx.finally_entry)
+                        break
+                self.loops[-1].breaks.append((index, None))
+            return []
+        if isinstance(stmt, ast.Continue):
+            index = self.new_node("stmt", stmt, frontier)
+            if self.loops:
+                self._abrupt(index, self.loops[-1].head)
+            return []
+        if isinstance(stmt, ast.Raise):
+            index = self.new_node("stmt", stmt, frontier)
+            # new_node wired handler edges; an uncaught raise propagates
+            # out of the function (through any pending finally).
+            if not any(ctx.handler_entries for ctx in self.tries):
+                self._abrupt(index, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Assert):
+            true_f, false_f = self.build_test(stmt.test, frontier)
+            for src, label in false_f:  # assertion failure raises
+                self.cfg.add_edge(src, self.cfg.exit, label)
+            return true_f
+        # Everything else — assignments, expression statements, nested
+        # def/class (they bind a name; bodies analyzed separately),
+        # imports, global/nonlocal, pass, delete — is one linear node.
+        index = self.new_node("stmt", stmt, frontier)
+        return [(index, None)]
+
+    @staticmethod
+    def _chain_entry(*frontiers: Frontier) -> int:
+        """First node of a decomposed condition chain (= the loop head):
+        the lowest index, since the chain was built in order."""
+        return min(src for frontier in frontiers for src, _ in frontier)
+
+    def _build_try(self, stmt: ast.Try, frontier: Frontier) -> Frontier:
+        ctx = _TryCtx()
+        # Handler entries must exist before the body is built so body
+        # statements can grow exc edges to them.
+        handler_nodes: list[tuple[ast.ExceptHandler, int]] = []
+        for handler in stmt.handlers:
+            index = self.cfg.add_node("stmt", handler)
+            ctx.handler_entries.append(index)
+            handler_nodes.append((handler, index))
+        if stmt.finalbody:
+            ctx.finally_entry = self.cfg.add_node("join", stmt)
+
+        self.tries.append(ctx)
+        body_end = self.build_body(stmt.body, frontier)
+        self.tries.pop()
+
+        if stmt.orelse:
+            body_end = self.build_body(stmt.orelse, body_end)
+
+        handler_ends: Frontier = []
+        for handler, index in handler_nodes:
+            # Handler bodies run outside the try's exc scope (a raise in a
+            # handler propagates outward, not back into the same try).
+            handler_ends.extend(self.build_body(handler.body, [(index, None)]))
+            self._exc_edges(index)
+
+        normal_end = body_end + handler_ends
+        if ctx.finally_entry is None:
+            return normal_end
+        self.connect(normal_end, ctx.finally_entry)
+        finally_end = self.build_body(stmt.finalbody, [(ctx.finally_entry, None)])
+        for target in sorted(ctx.pending_targets):
+            self.connect(finally_end, target)
+        return finally_end
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one function (or module/lambda-free tree) body."""
+    builder = _Builder(func)
+    end = builder.build_body(list(getattr(func, "body", [])), [(builder.cfg.entry, None)])
+    builder.connect(end, builder.cfg.exit)
+    return builder.cfg
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in the tree (nested included)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,96 @@
+"""Generic forward fixpoint solver over lattice-valued dataflow facts.
+
+The contract between solver and analysis is deliberately small, so both
+fact layers in :mod:`~repro.analysis.flow.facts` (and any future one)
+share the same engine:
+
+* ``initial(cfg)`` — the state at function entry;
+* ``join(old, new)`` — least upper bound of two states. ``old`` is
+  ``None`` for a node not yet reached (the analysis's bottom), so
+  ``join(None, s) == s``. For a may-analysis the join is a union, for a
+  must-analysis an intersection — the solver does not care, it only
+  requires **monotonicity**: joining can never shrink the information
+  order, or the worklist would oscillate;
+* ``transfer(cfg_node, state)`` — the post-state after one node;
+* ``refine(cfg_node, state, label)`` — optional branch refinement along
+  a labeled edge out of a ``test`` node (e.g. adding ``x`` to the
+  checked set along the ``True`` edge of ``x is not None``). Default:
+  the state passes through unchanged.
+
+States must be immutable values with structural equality — the solver
+decides convergence by ``==`` on the joined entry states.
+
+Termination: with a finite lattice and monotone ``join``/``transfer``,
+each node's entry state can only climb a finite chain, so the worklist
+drains. A hard iteration cap (``max_passes`` sweeps over the edge set)
+guards against a non-monotone client analysis; hitting it raises
+:class:`FixpointDiverged` rather than looping forever — a lint engine
+that hangs on one weird function is worse than one that reports it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Protocol, runtime_checkable
+
+from .cfg import CFG, CFGNode
+
+__all__ = ["ForwardAnalysis", "FixpointDiverged", "solve_forward"]
+
+
+class FixpointDiverged(RuntimeError):
+    """The worklist failed to converge — the analysis is not monotone."""
+
+
+@runtime_checkable
+class ForwardAnalysis(Protocol):
+    """What a client analysis supplies (see module docs)."""
+
+    def initial(self, cfg: CFG) -> Any: ...
+
+    def join(self, old: Any | None, new: Any) -> Any: ...
+
+    def transfer(self, node: CFGNode, state: Any) -> Any: ...
+
+
+def solve_forward(
+    cfg: CFG, analysis: ForwardAnalysis, max_passes: int = 64
+) -> dict[int, Any]:
+    """Run ``analysis`` to fixpoint; returns entry states per node index.
+
+    Unreachable nodes keep ``None`` (bottom) — clients collecting facts
+    skip them, which is correct: code on no path cannot violate a path
+    contract.
+    """
+    refine = getattr(analysis, "refine", None)
+    entry_states: dict[int, Any] = {index: None for index in range(len(cfg.nodes))}
+    entry_states[cfg.entry] = analysis.initial(cfg)
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    budget = max(1, max_passes) * max(1, sum(len(e) for e in cfg.succ.values()))
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > budget:
+            raise FixpointDiverged(
+                f"no fixpoint after {steps} edge relaxations "
+                f"({len(cfg.nodes)} nodes) — non-monotone transfer/join?"
+            )
+        index = worklist.popleft()
+        queued.discard(index)
+        state = entry_states[index]
+        if state is None:
+            continue
+        node = cfg.nodes[index]
+        out = analysis.transfer(node, state)
+        for edge in cfg.succ[index]:
+            edge_state = out
+            if refine is not None and node.kind == "test":
+                edge_state = refine(node, out, edge.label)
+            joined = analysis.join(entry_states[edge.dst], edge_state)
+            if joined != entry_states[edge.dst]:
+                entry_states[edge.dst] = joined
+                if edge.dst not in queued:
+                    worklist.append(edge.dst)
+                    queued.add(edge.dst)
+    return entry_states

@@ -16,7 +16,9 @@ from .dtype_literals import DtypeLiteralRule
 from .lock_discipline import LockDisciplineRule
 from .optional_guard import OptionalGuardRule
 from .pickle_boundary import PickleBoundaryRule
+from .publish_escape import PublishEscapeRule
 from .test_tolerance import AssertAllcloseAtolRule
+from .view_mutation import ViewMutationRule
 
 __all__ = [
     "DtypeLiteralRule",
@@ -25,10 +27,13 @@ __all__ = [
     "PickleBoundaryRule",
     "BroadExceptRule",
     "AssertAllcloseAtolRule",
+    "ViewMutationRule",
+    "PublishEscapeRule",
 ]
 
 # ---------------------------------------------------------------------- #
-# Built-in registrations: the repo's contract catalog (S1-S5, T1).
+# Built-in registrations: the repo's contract catalog (S1-S7, T1).
+# S2/S6/S7 consume the dataflow tier (repro.analysis.flow).
 # ---------------------------------------------------------------------- #
 register_rule(DtypeLiteralRule())        # S1 · PR 7 precision policy
 register_rule(OptionalGuardRule())       # S2 · PR 4 truthiness-guard bugs
@@ -36,3 +41,5 @@ register_rule(LockDisciplineRule())      # S3 · PR 8 snapshot contract
 register_rule(PickleBoundaryRule())      # S4 · PR 6 process-pool contract
 register_rule(BroadExceptRule())         # S5 · exception hygiene
 register_rule(AssertAllcloseAtolRule())  # T1 · explicit tolerance tiers
+register_rule(ViewMutationRule())        # S6 · PR 5/6 zero-copy borrow contract
+register_rule(PublishEscapeRule())       # S7 · PR 8 snapshot-freeze contract

@@ -14,12 +14,25 @@ annotated optional-numeric/array (``float | None``, ``Optional[int]``,
 ``np.ndarray | None``) in ``src/`` — dataclass fields and ``self.x:``
 annotations — because the annotation usually lives in a config module
 (``core/config.py``) while the guard lives in a consumer
-(``baselines/common.py``). Then, per file, any *truthiness context* whose
-test is a bare attribute with a collected name is flagged; bare local
-names are only matched against annotations from the same file, which
-keeps generic identifiers (``stop``, ``mask``) from cross-contaminating
-unrelated modules. Comparisons (``x is not None``, ``x > 0``) never flag
-— only the naked-name truthiness test does.
+(``baselines/common.py``). Comparisons (``x is not None``, ``x > 0``)
+never flag — only the naked-name truthiness test does.
+
+Since the dataflow tier (PR 10) the per-test decision is *path-
+sensitive*, via the flow facts' must-checked analysis
+(:mod:`repro.analysis.flow.facts`): a truthiness test is only flagged if
+no ``is not None`` check dominates it — so the guarded-then-used idiom
+
+    if config.grad_clip is not None and config.grad_clip:
+        ...
+
+stays silent (the second conjunct sits on the first's true-edge), while
+a truthiness test on a path some join reaches unguarded still flags.
+The same facts carry value *origins*, so a local assigned from an
+optional field (``clip = config.grad_clip``) is recognized across files
+— replacing the old same-file-only compromise for bare names, which
+could not tell ``clip`` apart from any generic local and therefore only
+matched names annotated in the same file. Same-file annotated locals
+and parameters still match by name, now minus the dominated ones.
 """
 
 from __future__ import annotations
@@ -94,27 +107,13 @@ def _annotated_names(tree: ast.AST) -> tuple[set[str], set[str]]:
     return fields, locals_
 
 
-def _truthiness_tests(tree: ast.AST) -> Iterator[ast.expr]:
-    """Every expression evaluated for truth: if/while/ternary/bool-ops/not."""
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
-            yield node.test
-        elif isinstance(node, ast.BoolOp):
-            yield from node.values
-        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
-            yield node.operand
-        elif isinstance(node, ast.Assert):
-            yield node.test
-        elif isinstance(node, ast.comprehension):
-            yield from node.ifs
-
-
 class OptionalGuardRule:
     rule_id = "optional-guard"
     description = (
-        "truthiness branch on an optional numeric/array field "
-        "(conflates 0/0.0 with None) — use `is not None`"
+        "truthiness branch on an optional numeric/array field with no "
+        "dominating None-check (conflates 0/0.0 with None) — use `is not None`"
     )
+    uses_flow = True  # meta-test: must ship a dominated-check good fixture
 
     def __init__(self) -> None:
         self._fields: frozenset[str] = frozenset()
@@ -130,12 +129,20 @@ class OptionalGuardRule:
         if not source.rel.startswith("src/"):
             return
         _, local_names = _annotated_names(source.tree)
-        for test in _truthiness_tests(source.tree):
+        for test in source.flow().tests():
+            expr = test.expr
             name = None
-            if isinstance(test, ast.Attribute) and test.attr in self._fields:
-                name = test.attr
-            elif isinstance(test, ast.Name) and test.id in local_names:
-                name = test.id
+            if isinstance(expr, ast.Attribute) and expr.attr in self._fields:
+                if f".{expr.attr}" in test.checked:
+                    continue  # an `is not None` check dominates this use
+                name = expr.attr
+            elif isinstance(expr, ast.Name):
+                known_optional = expr.id in local_names or (
+                    # assigned from an optional field, possibly cross-file
+                    test.origins & self._fields
+                )
+                if known_optional and expr.id not in test.checked:
+                    name = expr.id
             if name is not None:
                 yield Finding(
                     file=source.rel,

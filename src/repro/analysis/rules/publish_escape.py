@@ -1,0 +1,55 @@
+"""S7 — ``publish-escape``: never mutate an object after publishing it.
+
+The PR 8 torn-read contract: ``CrowdService`` serves lock-free reads by
+atomic snapshot swap — ``entry.snapshot = (version, result)`` — which is
+only safe because a published snapshot is *frozen*. Mutating ``result``
+(or any alias of it) after the store hands readers a value that changes
+under them: the torn read the snapshot pattern exists to prevent, and
+one the lock-discipline rule (S3) cannot see because the write happens
+outside any lock region, after publication.
+
+Mechanization: the flow tier's taint analysis marks the object ids
+reaching a publishing store — an attribute named ``snapshot`` /
+``*_snapshot``, or any store whose line carries a ``# published``
+comment — as published *from that program point on* (publication rides
+in the flow state, so a mutate-then-publish build-up phase is fine).
+Tuple/container values publish their elements too, which is what makes
+the ``(version, result)`` idiom taint ``result``. Any later collected
+in-place write whose target may point to a published id is flagged with
+the publish site's line. Publishing a defensive copy
+(``dict(result)`` / ``result.copy()``) launders, as does re-binding the
+local to fresh storage before further mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding, SourceFile
+
+__all__ = ["PublishEscapeRule"]
+
+
+class PublishEscapeRule:
+    rule_id = "publish-escape"
+    description = (
+        "in-place write to an object already published into a snapshot "
+        "(torn read) — publish a copy or mutate before publishing"
+    )
+    uses_flow = True  # meta-test: must ship a publish-a-copy good fixture
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for mutation in source.flow().mutations():
+            if not mutation.published_at:
+                continue
+            sites = ", ".join(f"line {line}" for line in mutation.published_at)
+            yield Finding(
+                file=source.rel,
+                line=mutation.lineno,
+                rule_id=self.rule_id,
+                message=(
+                    f"{mutation.kind} on {mutation.target!r} after it was "
+                    f"published into a snapshot ({sites}) — readers see the "
+                    "mutation mid-flight; publish a copy instead"
+                ),
+            )

@@ -592,6 +592,12 @@ class SparseLabelShard:
         The triples were range-validated when written, so loading skips
         the O(n_obs) constructor validation (which would fault in every
         page). ``.npz`` files always load eagerly.
+
+        A memmapped shard borrows the *file*: in-place writes through it
+        would corrupt the shard for every other handle, so the lint
+        engine's dataflow tier seeds ``mmap=True`` loads as borrowed and
+        flags such writes as ``view-mutation`` findings; pass
+        ``mmap=False`` (an eager private copy) if mutation is the point.
         """
         path = str(path)
         if path.endswith(".npz"):

@@ -63,6 +63,13 @@ class CrowdLabelMatrix:
     path — which adds whole instances and updates every populated cache
     incrementally (O(new observations) of cache *computation*; already-built
     views are carried over, never recomputed from scratch).
+
+    The read-only-views contract is machine-checked: the accessors named
+    in ``repro.analysis.flow.facts.BORROWING_CALLS`` (``shards``,
+    ``iter_shards``, ``flat_label_pairs``, ``label_incidence``,
+    ``vote_counts``, ...) seed "borrowed" taint in the lint engine's
+    dataflow tier, and any in-place write reaching a borrowed view
+    without an intervening ``.copy()`` is a ``view-mutation`` finding.
     """
 
     def __init__(self, labels: np.ndarray, num_classes: int) -> None:

@@ -255,6 +255,9 @@ class CrowdService:
             self._ensure_resident(entry)
             result = entry.stream.result(refresh=refresh)
             if not refresh:
+                # published: frozen once stored — readers hit it lock-free,
+                # so no one may mutate `result` (or an alias) past this
+                # point; the publish-escape lint rule enforces exactly that.
                 entry.snapshot = (entry.version, result)
         self._maybe_evict(keep=entry)
         return result

@@ -7,7 +7,12 @@ Three layers, mirroring how the engine is trusted:
   ``dtype-literal`` fixtures carry over the exact sample from the retired
   ``tests/tooling/test_no_float64_literals.py`` (PR 7), so the detector
   that guarded the precision policy is still proven to detect before it
-  is trusted — now for all six contracts, not one.
+  is trusted — now for all eight contracts, not one. Rules that consume
+  the dataflow tier (``uses_flow``) must additionally ship a *guarded*
+  fixture: same shape as the bad one but saved by a path fact (a
+  dominating None-check, an intervening ``.copy()``, mutate-before-
+  publish ordering) — proof the rule is actually path-sensitive rather
+  than a syntactic pattern match.
 * **engine mechanics** — registry semantics (duplicates raise, reserved
   ids refused, KeyError names the catalog), inline ``# lint: ok(...)``
   suppression consumption and staleness, baseline-ratchet comparison in
@@ -20,6 +25,7 @@ Three layers, mirroring how the engine is trusted:
   autodiff package stays dtype-literal-free with no baseline slack.
 """
 
+import json
 import time
 from pathlib import Path
 
@@ -48,6 +54,8 @@ from repro.analysis.rules import (
     LockDisciplineRule,
     OptionalGuardRule,
     PickleBoundaryRule,
+    PublishEscapeRule,
+    ViewMutationRule,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -95,6 +103,69 @@ FIXTURES = {
             "    if config.grad_clip is not None:\n"
             "        return grads\n"
             "    return grads\n",
+            SRC_FIXTURE,
+        ),
+        # Same truthiness test as bad, but dominated by an `is not None`
+        # check via short-circuit — the path-sensitive upgrade's point.
+        "guarded": (
+            "class TrainerConfig:\n"
+            "    grad_clip: float | None = None\n"
+            "\n"
+            "def step(config, grads):\n"
+            "    if config.grad_clip is not None and config.grad_clip:\n"
+            "        return grads\n"
+            "    return grads\n",
+            SRC_FIXTURE,
+        ),
+    },
+    "view-mutation": {
+        "bad": (
+            "def renumber(crowd):\n"
+            "    rows, cols, given = crowd.flat_label_pairs()\n"
+            "    rows[0] = 0\n"
+            "    return rows\n",
+            SRC_FIXTURE,
+            3,
+        ),
+        "good": (
+            "def renumber(crowd):\n"
+            "    rows = crowd.flat_label_pairs()[0].copy()\n"
+            "    rows[0] = 0\n"
+            "    return rows\n",
+            SRC_FIXTURE,
+        ),
+        # The mutation only sits on the path where the borrow was
+        # laundered — the re-binding kills the taint on that path.
+        "guarded": (
+            "def renumber(crowd, fresh):\n"
+            "    rows = crowd.flat_label_pairs()[0]\n"
+            "    if fresh:\n"
+            "        rows = rows.copy()\n"
+            "        rows[0] = 0\n"
+            "    return rows\n",
+            SRC_FIXTURE,
+        ),
+    },
+    "publish-escape": {
+        "bad": (
+            "def publish(entry, version, result):\n"
+            "    entry.snapshot = (version, result)\n"
+            "    result['state'] = 'stale'\n",
+            SRC_FIXTURE,
+            3,
+        ),
+        "good": (
+            "def publish(entry, version, result):\n"
+            "    entry.snapshot = (version, dict(result))\n"
+            "    result['state'] = 'stale'\n",
+            SRC_FIXTURE,
+        ),
+        # Publication is a program point: the build-up mutation happens
+        # before the snapshot swap, so nothing escapes.
+        "guarded": (
+            "def publish(entry, version, result):\n"
+            "    result['state'] = 'ready'\n"
+            "    entry.snapshot = (version, result)\n",
             SRC_FIXTURE,
         ),
     },
@@ -198,14 +269,22 @@ def run_engine(text, rel):
 
 
 def test_every_registered_rule_has_fixtures():
-    assert len(available_rules()) >= 6
+    assert len(available_rules()) >= 8
     assert set(available_rules()) == set(FIXTURES), (
         "rule registry and fixture table out of sync — every rule ships "
         "with a known-bad and a known-good fixture, no exceptions"
     )
     for rule_id in available_rules():
-        assert get_rule(rule_id).description
+        rule = get_rule(rule_id)
+        assert rule.description
         assert {"bad", "good"} <= set(FIXTURES[rule_id])
+        if getattr(rule, "uses_flow", False):
+            assert "guarded" in FIXTURES[rule_id], (
+                f"{rule_id} consumes flow facts but ships no guarded-path "
+                "fixture — a flow rule must prove it stays silent when a "
+                "path fact (dominating check, laundering copy, publish "
+                "ordering) saves the bad shape"
+            )
 
 
 @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
@@ -223,6 +302,16 @@ def test_rule_fires_on_bad_fixture(rule_id):
 @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
 def test_rule_silent_on_good_fixture(rule_id):
     text, rel = FIXTURES[rule_id]["good"]
+    assert run_engine(text, rel) == []
+
+
+@pytest.mark.parametrize(
+    "rule_id", sorted(r for r in FIXTURES if "guarded" in FIXTURES[r])
+)
+def test_flow_rule_silent_on_guarded_fixture(rule_id):
+    # The bad shape saved by a path fact — what distinguishes a dataflow
+    # rule from a syntactic pattern match.
+    text, rel = FIXTURES[rule_id]["guarded"]
     assert run_engine(text, rel) == []
 
 
@@ -461,8 +550,9 @@ def test_cli_reports_file_line_rule(tmp_path, capsys):
 def test_cli_baseline_ratchet_cycle(tmp_path, capsys):
     mod = _seed_repo(tmp_path, "import numpy as np\nx = np.float64(3.0)\n")
     root = ["--root", str(tmp_path)]
-    # Write the ratchet: the pre-existing finding is now tolerated.
-    assert cli_main(root + ["--write-baseline", "src"]) == 0
+    # Write the ratchet (this throwaway tree has no tests/, so the
+    # subtree write needs --force): the finding is now tolerated.
+    assert cli_main(root + ["--write-baseline", "--force", "src"]) == 0
     assert cli_main(root + ["src"]) == 0
     # A second violation exceeds the key's budget and fails.
     mod.write_text("import numpy as np\nx = np.float64(3.0)\ny = np.float32(1.0)\n")
@@ -473,8 +563,55 @@ def test_cli_baseline_ratchet_cycle(tmp_path, capsys):
     assert cli_main(root + ["src"]) == 1
     assert "--write-baseline" in capsys.readouterr().out
     # ...until the baseline is regenerated, locking the fix in.
-    assert cli_main(root + ["--write-baseline", "src"]) == 0
+    assert cli_main(root + ["--write-baseline", "--force", "src"]) == 0
     assert cli_main(root + ["src"]) == 0
+
+
+def test_cli_write_baseline_refuses_subtree_without_force(tmp_path, capsys):
+    # The footgun: a ratchet written from a subtree's findings makes the
+    # next full run fail on everything else as "new".
+    _seed_repo(tmp_path, "import numpy as np\nx = np.float64(3.0)\n")
+    root = ["--root", str(tmp_path)]
+    assert cli_main(root + ["--write-baseline", "src/repro"]) == 2
+    captured = capsys.readouterr()
+    assert "--force" in captured.err
+    assert not (tmp_path / "analysis" / "baseline.json").exists()
+    # --force overrides, for the rare deliberate subtree ratchet.
+    assert cli_main(root + ["--write-baseline", "--force", "src/repro"]) == 0
+    assert (tmp_path / "analysis" / "baseline.json").exists()
+
+
+def test_cli_json_format(tmp_path, capsys):
+    _seed_repo(tmp_path, "import numpy as np\nx = np.float64(3.0)\n")
+    args = ["--root", str(tmp_path), "--no-baseline", "--format", "json", "src"]
+    assert cli_main(args) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 1
+    assert payload["counts_by_rule"] == {"dtype-literal": 1}
+    finding = payload["findings"][0]
+    assert finding["file"] == "src/repro/mod.py"
+    assert finding["line"] == 2
+    assert finding["rule_id"] == "dtype-literal"
+    assert payload["elapsed_seconds"] >= 0
+
+
+def test_cli_profile_reports_every_rule(tmp_path, capsys):
+    _seed_repo(tmp_path, "x = 1\n")
+    assert cli_main(["--root", str(tmp_path), "--no-baseline", "--profile", "src"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in available_rules():
+        assert rule_id in out
+
+
+def test_cli_json_profile_carries_rule_seconds(tmp_path, capsys):
+    _seed_repo(tmp_path, "x = 1\n")
+    args = [
+        "--root", str(tmp_path), "--no-baseline",
+        "--format", "json", "--profile", "src",
+    ]
+    assert cli_main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["rule_seconds"]) == set(available_rules())
 
 
 def test_cli_lists_the_catalog(capsys):
@@ -510,11 +647,16 @@ def test_full_repo_lints_clean_against_baseline():
 def test_src_contract_rules_hold_at_zero():
     # The S2-S5 contracts are fixed at zero in src/ (PR 4/6/8 fixes hold
     # and the two broad-except sites are justified) — no baseline slack.
+    # The PR 10 dataflow rules (S6 view-mutation, S7 publish-escape) join
+    # them at zero: no in-place write on a borrowed view and no post-
+    # publication mutation anywhere in src/.
     rules = [
         OptionalGuardRule(),
         LockDisciplineRule(),
         PickleBoundaryRule(),
         BroadExceptRule(),
+        ViewMutationRule(),
+        PublishEscapeRule(),
     ]
     findings = analyze_paths(["src"], root=REPO_ROOT, rules=rules)
     assert findings == [], "\n".join(str(f) for f in findings)

@@ -1,0 +1,489 @@
+"""The dataflow tier's own tests: CFG shapes, solver behavior, fact layers.
+
+CFG tests compare whole edge sets against hand-drawn graphs (nodes named
+by line number, ``entry``/``exit`` by name — :meth:`CFG.edge_set`), so a
+builder regression shows up as a set diff, not a flaky traversal. Solver
+tests pin the contract the fact layers rely on: fixpoints on loops,
+branch refinement along labeled edges, bottom (``None``) for unreachable
+nodes, and a hard stop on non-monotone clients. Fact tests drive
+:func:`build_file_flow` on fabricated sources and assert the collected
+borrow/publish mutations and checkedness facts directly — the rule-level
+behavior is covered by the fixtures in ``test_analysis.py``.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import SourceFile
+from repro.analysis.flow import build_cfg, build_file_flow, iter_functions
+from repro.analysis.flow.solver import FixpointDiverged, solve_forward
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = list(iter_functions(tree))
+    assert len(funcs) == 1
+    return build_cfg(funcs[0])
+
+
+def flow_of(source, rel="src/repro/_fixture.py"):
+    return build_file_flow(SourceFile.from_source(textwrap.dedent(source), rel))
+
+
+# --------------------------------------------------------------------- #
+# CFG construction against hand-drawn graphs.
+# --------------------------------------------------------------------- #
+
+
+def test_cfg_if_else_diamond():
+    cfg = cfg_of(
+        """\
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, True),
+        (2, 5, False),
+        (3, 6, None),
+        (5, 6, None),
+        (6, "exit", None),
+    }
+
+
+def test_cfg_short_circuit_decomposes_into_test_chain():
+    # `a and b` must become test(a) --True--> test(b); both false edges
+    # join the else target. Conditions on separate lines so the chain is
+    # visible in the edge set.
+    cfg = cfg_of(
+        """\
+        def f(a, b):
+            if (a
+                    and b):
+                r = 1
+            return r
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, True),  # a truthy -> evaluate b (short-circuit edge)
+        (2, 5, False),  # a falsy -> skip b entirely
+        (3, 4, True),
+        (3, 5, False),
+        (4, 5, None),
+        (5, "exit", None),
+    }
+    kinds = [node.kind for node in cfg.nodes]
+    assert kinds.count("test") == 2
+
+
+def test_cfg_not_swaps_edge_labels():
+    cfg = cfg_of(
+        """\
+        def f(x):
+            if not x:
+                return 1
+            return 2
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, False),  # `not` swaps: body entered on x's False edge
+        (2, 4, True),
+        (3, "exit", None),
+        (4, "exit", None),
+    }
+
+
+def test_cfg_while_else_with_back_edge():
+    cfg = cfg_of(
+        """\
+        def f(n):
+            while n:
+                n = step(n)
+            else:
+                n = -1
+            return n
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, True),
+        (3, 2, None),  # loop back edge
+        (2, 5, False),  # exhausted -> while-else
+        (5, 6, None),
+        (6, "exit", None),
+    }
+
+
+def test_cfg_for_break_keeps_direct_exit_edge():
+    cfg = cfg_of(
+        """\
+        def f(items):
+            for item in items:
+                if item:
+                    break
+            return items
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, True),  # another item -> body
+        (3, 4, True),
+        (3, 2, False),  # if falls through -> back to header
+        (2, 5, False),  # exhausted
+        (4, 5, None),  # break jumps straight past the loop
+        (5, "exit", None),
+    }
+
+
+def test_cfg_continue_edges_to_loop_head():
+    cfg = cfg_of(
+        """\
+        def f(items):
+            for item in items:
+                if item:
+                    continue
+                use(item)
+            return items
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, True),
+        (3, 4, True),
+        (4, 2, None),  # continue -> header
+        (3, 5, False),
+        (5, 2, None),
+        (2, 6, False),
+        (6, "exit", None),
+    }
+
+
+def test_cfg_try_except_exception_edges():
+    cfg = cfg_of(
+        """\
+        def f(path):
+            try:
+                data = load(path)
+            except OSError:
+                data = None
+            return data
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 3, None),
+        (3, 4, "exc"),  # any body statement may raise into the handler
+        (3, 6, None),
+        (4, 5, None),
+        (5, 6, None),
+        (6, "exit", None),
+    }
+
+
+def test_cfg_return_routes_through_finally():
+    # The return's jump to exit must divert through the finally body —
+    # the finally's synthetic join node carries the try statement's line.
+    cfg = cfg_of(
+        """\
+        def f(res):
+            try:
+                return res.value
+            finally:
+                res.close()
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 3, None),
+        (3, 2, None),  # return diverts into the finally join (line 2)
+        (2, 5, None),
+        (5, "exit", None),
+    }
+
+
+def test_cfg_assert_false_edge_raises():
+    cfg = cfg_of(
+        """\
+        def f(x):
+            assert x
+            return x
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, True),
+        (2, "exit", False),  # assertion failure propagates out
+        (3, "exit", None),
+    }
+
+
+def test_cfg_uncaught_raise_edges_to_exit():
+    cfg = cfg_of(
+        """\
+        def f(x):
+            if x:
+                raise ValueError(x)
+            return x
+        """
+    )
+    assert cfg.edge_set() == {
+        ("entry", 2, None),
+        (2, 3, True),
+        (3, "exit", None),
+        (2, 4, False),
+        (4, "exit", None),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Solver: fixpoints, refinement, bottom, divergence guard.
+# --------------------------------------------------------------------- #
+
+
+class _LineCollector:
+    """May-analysis toy: the set of lines any path traversed to get here."""
+
+    def initial(self, cfg):
+        return frozenset()
+
+    def join(self, old, new):
+        return new if old is None else old | new
+
+    def transfer(self, node, state):
+        if node.lineno is None:
+            return state
+        return state | {node.lineno}
+
+
+def test_solver_reaches_fixpoint_on_loop():
+    cfg = cfg_of(
+        """\
+        def f(n):
+            while n:
+                n = step(n)
+            return n
+        """
+    )
+    states = solve_forward(cfg, _LineCollector())
+    # The loop head's entry state is the join of the preheader and the
+    # back edge, so after convergence it includes the body's line.
+    head = next(i for i, n in enumerate(cfg.nodes) if n.kind == "test")
+    assert states[head] == frozenset({2, 3})
+    assert states[cfg.exit] == frozenset({2, 3, 4})
+
+
+class _BranchTagger(_LineCollector):
+    """Adds refinement: tags which edge of `test` was taken."""
+
+    def refine(self, node, state, label):
+        return state | {(node.lineno, label)}
+
+
+def test_solver_refines_along_labeled_edges():
+    cfg = cfg_of(
+        """\
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    states = solve_forward(cfg, _BranchTagger())
+    by_line = {
+        node.lineno: states[node.index]
+        for node in cfg.nodes
+        if node.kind == "stmt"
+    }
+    assert (2, True) in by_line[3] and (2, False) not in by_line[3]
+    assert (2, False) in by_line[5] and (2, True) not in by_line[5]
+    # The join after the branch sees both refinements (union).
+    assert {(2, True), (2, False)} <= by_line[6]
+
+
+def test_solver_leaves_unreachable_nodes_at_bottom():
+    cfg = cfg_of(
+        """\
+        def f():
+            return 1
+            x = 3
+        """
+    )
+    states = solve_forward(cfg, _LineCollector())
+    dead = next(i for i, n in enumerate(cfg.nodes) if n.lineno == 3)
+    assert states[dead] is None
+
+
+def test_solver_raises_on_non_monotone_analysis():
+    class Diverging:
+        def initial(self, cfg):
+            return 0
+
+        def join(self, old, new):
+            return new  # no least-upper-bound: states never stabilize
+
+        def transfer(self, node, state):
+            return state + 1
+
+    cfg = cfg_of(
+        """\
+        def f(n):
+            while n:
+                n = step(n)
+            return n
+        """
+    )
+    with pytest.raises(FixpointDiverged, match="non-monotone"):
+        solve_forward(cfg, Diverging(), max_passes=4)
+
+
+# --------------------------------------------------------------------- #
+# Fact layers: borrow/publish taint and optional checkedness.
+# --------------------------------------------------------------------- #
+
+
+def _mutations(source):
+    return [m for fn in flow_of(source).functions for m in fn.mutations]
+
+
+def test_facts_borrow_flows_through_unpacking_and_aliases():
+    muts = _mutations(
+        """\
+        import numpy as np
+
+        def renumber(crowd):
+            rows, cols, given = crowd.flat_label_pairs()
+            flat = np.asarray(rows)
+            flat[0] = 0
+        """
+    )
+    assert [(m.lineno, m.kind) for m in muts] == [(6, "subscript store")]
+    assert muts[0].borrowed_from == ("flat_label_pairs()",)
+
+
+def test_facts_copy_launders_borrowed_taint():
+    assert (
+        _mutations(
+            """\
+            def renumber(crowd):
+                rows = crowd.flat_label_pairs()[0].copy()
+                rows[0] = 0
+            """
+        )
+        == []
+    )
+
+
+def test_facts_mmap_load_is_borrowed_but_explicit_copy_load_is_not():
+    bad = _mutations(
+        """\
+        def patch(path):
+            shard = SparseLabelShard.load(path)
+            shard.rows.sort()
+        """
+    )
+    assert [(m.lineno, m.kind) for m in bad] == [(3, "mutating call .sort()")]
+    assert "mmap" in bad[0].borrowed_from[0]
+    assert (
+        _mutations(
+            """\
+            def patch(path):
+                shard = SparseLabelShard.load(path, mmap=False)
+                shard.rows.sort()
+            """
+        )
+        == []
+    )
+
+
+def test_facts_publication_is_a_program_point():
+    # Mutation BEFORE the publishing store is the sanctioned build-up
+    # phase; only mutation after the snapshot swap escapes.
+    before = _mutations(
+        """\
+        def publish(entry, result):
+            result["state"] = "ready"
+            entry.snapshot = (1, result)
+        """
+    )
+    assert before == []
+    after = _mutations(
+        """\
+        def publish(entry, result):
+            entry.snapshot = (1, result)
+            result["state"] = "stale"
+        """
+    )
+    assert [(m.lineno, m.published_at) for m in after] == [(3, (2,))]
+
+
+def test_facts_published_comment_marks_any_attribute():
+    muts = _mutations(
+        """\
+        def install(registry, table):
+            registry.active = table  # published
+            table.clear()
+        """
+    )
+    assert [(m.lineno, m.published_at) for m in muts] == [(3, (2,))]
+
+
+def test_facts_checkedness_respects_short_circuit_domination():
+    flow = flow_of(
+        """\
+        def step(config):
+            if config.grad_clip is not None and config.grad_clip:
+                return 1
+            if config.grad_clip:
+                return 2
+            return 0
+        """
+    )
+    tests = [t for fn in flow.functions for t in fn.tests]
+    # Two truthiness positions on grad_clip: the guarded conjunct (line 2)
+    # and the unguarded test (line 4).
+    assert [(t.lineno, ".grad_clip" in t.checked) for t in tests] == [
+        (2, True),
+        (4, False),
+    ]
+
+
+def test_facts_origins_attribute_assignment_to_local():
+    flow = flow_of(
+        """\
+        def step(config):
+            clip = config.grad_clip
+            if clip:
+                return 1
+            return 0
+        """
+    )
+    tests = [t for fn in flow.functions for t in fn.tests]
+    assert len(tests) == 1
+    assert tests[0].origins == frozenset({"grad_clip"})
+    # Calls yield no origins — generic locals stay unattributed.
+    flow = flow_of(
+        """\
+        def loop(stopper, score):
+            stop = stopper.update(score)
+            if stop:
+                return True
+            return False
+        """
+    )
+    tests = [t for fn in flow.functions for t in fn.tests]
+    assert len(tests) == 1
+    assert tests[0].origins == frozenset()
+
+
+def test_flow_is_computed_once_per_file():
+    source = SourceFile.from_source("def f():\n    return 1\n")
+    assert source.flow() is source.flow()
